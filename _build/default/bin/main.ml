@@ -1,0 +1,432 @@
+(* probcons: probabilistic consensus reliability CLI.
+
+   Subcommands map one-to-one onto the library's entry points so every
+   analysis in the paper is reproducible from the shell. *)
+
+open Cmdliner
+
+(* --- Shared arguments --------------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+
+let p_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "p"; "fault-probability" ] ~docv:"P"
+        ~doc:"Per-node fault probability in [0,1].")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let target_nines_arg =
+  Arg.(
+    value
+    & opt float 4.
+    & info [ "target-nines" ] ~docv:"K" ~doc:"Reliability target as nines.")
+
+(* --- analyze ------------------------------------------------------- *)
+
+let protocol_conv =
+  Arg.enum [ ("raft", `Raft); ("pbft", `Pbft) ]
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv `Raft
+    & info [ "protocol" ] ~docv:"PROTO" ~doc:"Protocol model: raft or pbft.")
+
+let mix_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' (pair ~sep:'x' int float)) []
+    & info [ "mix" ] ~docv:"K1xP1,K2xP2,..."
+        ~doc:
+          "Heterogeneous fleet: comma-separated groups, each COUNTxPROB (e.g. \
+           4x0.08,3x0.01). Overrides --n/--p.")
+
+let analyze_cmd =
+  let run proto n p mix =
+    let fleet =
+      if mix = [] then
+        Faultmodel.Fleet.uniform
+          ~byz_fraction:(match proto with `Pbft -> 1.0 | `Raft -> 0.0)
+          ~n ~p ()
+      else begin
+        let nodes =
+          List.concat_map
+            (fun (count, prob) ->
+              List.init count (fun _ ->
+                  Faultmodel.Node.make ~id:0
+                    ~byz_fraction:(match proto with `Pbft -> 1.0 | `Raft -> 0.0)
+                    (Faultmodel.Fault_curve.constant prob)))
+            mix
+        in
+        Faultmodel.Fleet.of_nodes nodes
+      end
+    in
+    let size = Faultmodel.Fleet.size fleet in
+    let protocol =
+      match proto with
+      | `Raft -> Probcons.Raft_model.protocol (Probcons.Raft_model.default size)
+      | `Pbft -> Probcons.Pbft_model.protocol (Probcons.Pbft_model.default size)
+    in
+    let result = Probcons.Analysis.run protocol fleet in
+    Format.printf "%a@." Probcons.Analysis.pp_result result;
+    Format.printf "nines: safe %.2f, live %.2f, safe&live %.2f@."
+      (Prob.Nines.of_prob result.Probcons.Analysis.p_safe)
+      (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
+      (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live)
+  in
+  let term = Term.(const run $ protocol_arg $ n_arg $ p_arg $ mix_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Probabilistic safety/liveness of a Raft or PBFT deployment.")
+    term
+
+(* --- tables --------------------------------------------------------- *)
+
+let tables_cmd =
+  let run () =
+    let t1 = Probcons.Report.create
+        ~header:[ "N"; "|Qeq|"; "|Qper|"; "|Qvc|"; "|Qvc_t|"; "Safe"; "Live"; "Safe&Live" ]
+    in
+    List.iter
+      (fun n ->
+        let params = Probcons.Pbft_model.default n in
+        let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p:0.01 () in
+        let r = Probcons.Analysis.run (Probcons.Pbft_model.protocol params) fleet in
+        Probcons.Report.add_row t1
+          [
+            string_of_int n;
+            string_of_int params.Probcons.Pbft_model.q_eq;
+            string_of_int params.Probcons.Pbft_model.q_per;
+            string_of_int params.Probcons.Pbft_model.q_vc;
+            string_of_int params.Probcons.Pbft_model.q_vc_t;
+            Probcons.Report.cell_percent r.Probcons.Analysis.p_safe;
+            Probcons.Report.cell_percent r.Probcons.Analysis.p_live;
+            Probcons.Report.cell_percent r.Probcons.Analysis.p_safe_live;
+          ])
+      [ 4; 5; 7; 8 ];
+    Probcons.Report.print ~title:"Table 1: PBFT reliability, uniform p_u = 1%" t1;
+    print_newline ();
+    let t2 = Probcons.Report.create
+        ~header:[ "N"; "|Qper|"; "|Qvc|"; "S&L p=1%"; "S&L p=2%"; "S&L p=4%"; "S&L p=8%" ]
+    in
+    List.iter
+      (fun n ->
+        let params = Probcons.Raft_model.default n in
+        let cells =
+          List.map
+            (fun p ->
+              Probcons.Report.cell_percent
+                (Probcons.Raft_model.safe_and_live_uniform ~n ~p))
+            [ 0.01; 0.02; 0.04; 0.08 ]
+        in
+        Probcons.Report.add_row t2
+          ([ string_of_int n;
+             string_of_int params.Probcons.Raft_model.q_per;
+             string_of_int params.Probcons.Raft_model.q_vc ]
+          @ cells))
+      [ 3; 5; 7; 9 ];
+    Probcons.Report.print ~title:"Table 2: Raft reliability for uniform node failure"
+      t2
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1 and 2.")
+    Term.(const run $ const ())
+
+(* --- optimize ------------------------------------------------------- *)
+
+let optimize_cmd =
+  let run target_nines =
+    let target = Prob.Nines.to_prob target_nines in
+    Format.printf "target: %s safe-and-live@." (Prob.Nines.percent_string target);
+    List.iter
+      (fun machine ->
+        match Costmodel.Optimizer.min_cluster machine ~target () with
+        | Some d -> Format.printf "  %a@." Costmodel.Optimizer.pp_deployment d
+        | None ->
+            Format.printf "  %s: target unreachable@." machine.Costmodel.Machine.name)
+      Costmodel.Machine.default_catalog;
+    match Costmodel.Optimizer.optimize ~target () with
+    | Some d -> Format.printf "cheapest: %a@." Costmodel.Optimizer.pp_deployment d
+    | None -> Format.printf "no deployment meets the target@."
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Min-cost deployment for a reliability target.")
+    Term.(const run $ target_nines_arg)
+
+(* --- markov --------------------------------------------------------- *)
+
+let markov_cmd =
+  let afr_arg =
+    Arg.(value & opt float 0.04 & info [ "afr" ] ~docv:"AFR" ~doc:"Annual failure rate.")
+  in
+  let mttr_arg =
+    Arg.(value & opt float 24. & info [ "mttr" ] ~docv:"H" ~doc:"Node repair time, hours.")
+  in
+  let run n afr mttr =
+    let quorum = (n / 2) + 1 in
+    let spec = Markov.Repair_model.of_afr ~n ~quorum ~afr ~mttr_hours:mttr in
+    Format.printf "n=%d quorum=%d afr=%g mttr=%gh@." n quorum afr mttr;
+    Format.printf "  MTTF  (quorum loss): %.4g h@." (Markov.Repair_model.mttf spec);
+    Format.printf "  MTBF:                %.4g h@." (Markov.Repair_model.mtbf spec);
+    Format.printf "  MTTDL (data loss):   %.4g h@." (Markov.Repair_model.mttdl spec);
+    Format.printf "  availability:        %s@."
+      (Prob.Nines.percent_string (Markov.Repair_model.availability spec))
+  in
+  Cmd.v
+    (Cmd.info "markov" ~doc:"Storage-style MTTF/MTTDL/availability of a cluster.")
+    Term.(const run $ n_arg $ afr_arg $ mttr_arg)
+
+(* --- simulate ------------------------------------------------------- *)
+
+let simulate_cmd =
+  let crash_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "crash" ] ~docv:"IDS" ~doc:"Nodes to crash at t=0.")
+  in
+  let byz_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "byzantine" ] ~docv:"IDS"
+          ~doc:"Nodes made Byzantine at t=0 (pbft only).")
+  in
+  let commands_arg =
+    Arg.(value & opt int 10 & info [ "commands" ] ~docv:"K" ~doc:"Client commands.")
+  in
+  let run proto n seed crash byz commands_count =
+    let commands = List.init commands_count (fun i -> 1000 + i) in
+    let all = List.init n Fun.id in
+    let failed = crash @ byz in
+    let correct = List.filter (fun i -> not (List.mem i failed)) all in
+    match proto with
+    | `Raft ->
+        if byz <> [] then Format.printf "note: Raft is CFT; --byzantine ignored@.";
+        let cluster = Raft_sim.Raft_cluster.create ~n ~seed () in
+        Raft_sim.Raft_cluster.inject cluster
+          (Dessim.Fault_injector.of_failed_nodes crash);
+        Raft_sim.Raft_cluster.submit_workload cluster ~commands ~start:500.
+          ~interval:100.;
+        Raft_sim.Raft_cluster.run cluster ~until:60_000.;
+        let report = Raft_sim.Raft_checker.check cluster ~expected:commands ~correct in
+        Format.printf "%a@." Raft_sim.Raft_checker.pp_report report
+    | `Pbft ->
+        let cluster = Pbft_sim.Pbft_cluster.create ~n ~seed () in
+        Pbft_sim.Pbft_cluster.inject cluster
+          (Dessim.Fault_injector.of_failed_nodes crash
+          @ Dessim.Fault_injector.of_failed_nodes ~byzantine:true byz);
+        Pbft_sim.Pbft_cluster.submit_workload cluster ~commands ~start:500.
+          ~interval:100.;
+        Pbft_sim.Pbft_cluster.run cluster ~until:60_000.;
+        let honest = List.filter (fun i -> not (List.mem i byz)) all in
+        let report =
+          Pbft_sim.Pbft_checker.check cluster ~expected:commands ~correct ~honest
+        in
+        Format.printf "%a@." Pbft_sim.Pbft_checker.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute a Raft or PBFT cluster under fault injection and check it.")
+    Term.(
+      const run $ protocol_arg $ n_arg $ seed_arg $ crash_arg $ byz_arg
+      $ commands_arg)
+
+(* --- committee ------------------------------------------------------ *)
+
+let committee_cmd =
+  let run target_nines seed =
+    let target = Prob.Nines.to_prob target_nines in
+    let fleet = Faultmodel.Fleet.mixed [ (4, 0.005); (10, 0.02); (6, 0.08) ] in
+    Format.printf "fleet: 4 at p=0.5%%, 10 at p=2%%, 6 at p=8%%; target %s@."
+      (Prob.Nines.percent_string target);
+    (match Probnative.Committee.reliability_ranked ~target fleet with
+    | Some c ->
+        Format.printf "ranked committee: %d members -> %s@." (List.length c.members)
+          (Prob.Nines.percent_string c.p_safe_live)
+    | None -> Format.printf "no ranked committee meets the target@.");
+    let rng = Prob.Rng.create seed in
+    match Probnative.Committee.random_committee_size rng ~target fleet with
+    | Some size -> Format.printf "random committee size: %d@." size
+    | None -> Format.printf "random committees cannot meet the target@."
+  in
+  Cmd.v
+    (Cmd.info "committee" ~doc:"Committee sampling for a reliability target.")
+    Term.(const run $ target_nines_arg $ seed_arg)
+
+(* --- benor ----------------------------------------------------------- *)
+
+let benor_cmd =
+  let coin_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "common-coin" ] ~docv:"SEED"
+          ~doc:"Use a shared per-round coin with this seed (O(1) expected rounds).")
+  in
+  let run n seed common_coin =
+    let initial = List.init n (fun i -> i mod 2) in
+    let cluster =
+      Benor_sim.Benor_cluster.create ~seed ?common_coin ~initial_values:initial ()
+    in
+    Benor_sim.Benor_cluster.run cluster ~until:1e7;
+    let report = Benor_sim.Benor_cluster.check cluster ~correct:(List.init n Fun.id) in
+    Format.printf "agreement=%b validity=%b all-decided=%b rounds=%d@."
+      report.Benor_sim.Benor_cluster.agreement_ok report.Benor_sim.Benor_cluster.validity_ok
+      report.Benor_sim.Benor_cluster.all_correct_decided
+      report.Benor_sim.Benor_cluster.max_round;
+    List.iter
+      (fun (node, decision) ->
+        Format.printf "  node %d: %s@." node
+          (match decision with Some v -> string_of_int v | None -> "undecided"))
+      report.Benor_sim.Benor_cluster.decisions
+  in
+  Cmd.v
+    (Cmd.info "benor" ~doc:"Run Ben-Or randomized consensus with split inputs.")
+    Term.(const run $ n_arg $ seed_arg $ coin_arg)
+
+(* --- mixed ----------------------------------------------------------- *)
+
+let mixed_cmd =
+  let byz_fraction_arg =
+    Arg.(
+      value & opt float 0.0025
+      & info [ "byz-fraction" ] ~docv:"F" ~doc:"Fraction of faults that are Byzantine.")
+  in
+  let run n p byz_fraction =
+    let fleet = Faultmodel.Fleet.uniform ~byz_fraction ~n ~p () in
+    Format.printf "n=%d, fault probability %g, Byzantine fraction %g:@." n p byz_fraction;
+    List.iter
+      (fun (name, r) ->
+        Format.printf "  %-8s safe %-14s live %-12s safe&live %s@." name
+          (Prob.Nines.percent_string r.Probcons.Analysis.p_safe)
+          (Prob.Nines.percent_string r.Probcons.Analysis.p_live)
+          (Prob.Nines.percent_string r.Probcons.Analysis.p_safe_live))
+      (Probcons.Upright_model.compare_with_classics fleet)
+  in
+  Cmd.v
+    (Cmd.info "mixed"
+       ~doc:"Compare Raft, PBFT and dual-threshold Upright under mixed faults.")
+    Term.(const run $ n_arg $ p_arg $ byz_fraction_arg)
+
+(* --- endtoend --------------------------------------------------------- *)
+
+let endtoend_cmd =
+  let afr_arg =
+    Arg.(value & opt float 0.04 & info [ "afr" ] ~docv:"AFR" ~doc:"Annual failure rate.")
+  in
+  let failover_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "failover-hours" ] ~docv:"H" ~doc:"Recovery time per leader failure.")
+  in
+  let mission_arg =
+    Arg.(
+      value & opt float 87660.
+      & info [ "mission-hours" ] ~docv:"H" ~doc:"Mission duration (default 10 years).")
+  in
+  let run n afr failover_hours mission_hours =
+    let quorum = (n / 2) + 1 in
+    let spec = Markov.Repair_model.of_afr ~n ~quorum ~afr ~mttr_hours:24. in
+    let t = Probcons.End_to_end.evaluate ~spec ~failover_hours ~mission_hours in
+    Format.printf "%a@." Probcons.End_to_end.pp t;
+    match Probcons.End_to_end.required_failover_hours ~spec ~availability_nines:5. with
+    | Some budget -> Format.printf "failover budget for 5 nines: %.2f h/incident@." budget
+    | None -> Format.printf "five nines of availability are unattainable@."
+  in
+  Cmd.v
+    (Cmd.info "endtoend" ~doc:"End-to-end availability/durability SLO evaluation.")
+    Term.(const run $ n_arg $ afr_arg $ failover_arg $ mission_arg)
+
+(* --- bounds ------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Tail threshold: P(X >= K).")
+  in
+  let run n p k =
+    let c = Prob.Bounds.compare_tail ~n ~p ~k in
+    Format.printf "P(X >= %d), X ~ Binomial(%d, %g):@." k n p;
+    Format.printf "  exact       %.3e@." c.Prob.Bounds.exact;
+    Format.printf "  chernoff-KL %.3e (%.1fx pessimistic)@." c.Prob.Bounds.chernoff
+      c.Prob.Bounds.chernoff_ratio;
+    Format.printf "  hoeffding   %.3e (%.1fx pessimistic)@." c.Prob.Bounds.hoeffding
+      c.Prob.Bounds.hoeffding_ratio
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Exact binomial tail vs Chernoff/Hoeffding bounds.")
+    Term.(const run $ n_arg $ p_arg $ k_arg)
+
+(* --- sweep ------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let kind_conv =
+    Arg.enum
+      [ ("raft", `Raft); ("pbft", `Pbft); ("pbft-detail", `Pbft_detail);
+        ("frontier", `Frontier) ]
+  in
+  let kind_arg =
+    Arg.(
+      value & opt kind_conv `Raft
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Grid: raft, pbft, pbft-detail (safety/liveness/forensics), frontier.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+  in
+  let run kind csv =
+    let ns = [ 3; 5; 7; 9; 11 ] and ps = [ 0.005; 0.01; 0.02; 0.04; 0.08 ] in
+    let table =
+      match kind with
+      | `Raft -> Probcons.Sweep.raft_grid ~ns ~ps
+      | `Pbft -> Probcons.Sweep.pbft_grid ~ns:[ 4; 5; 7; 8; 10 ] ~ps
+      | `Pbft_detail ->
+          Probcons.Sweep.pbft_safety_liveness_grid ~ns:[ 4; 5; 7; 8; 10 ] ~p:0.01
+      | `Frontier ->
+          Probcons.Sweep.min_cluster_frontier
+            ~targets:(List.map Prob.Nines.to_prob [ 2.; 3.; 4.; 5. ])
+            ~ps
+    in
+    print_string
+      (if csv then Probcons.Report.to_csv table else Probcons.Report.render table)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Reliability grids across cluster sizes and fault rates.")
+    Term.(const run $ kind_arg $ csv_arg)
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run target_nines mix seed =
+    let fleet =
+      if mix = [] then Faultmodel.Fleet.mixed [ (3, 0.001); (8, 0.02); (5, 0.10) ]
+      else Faultmodel.Fleet.mixed mix
+    in
+    let target = Prob.Nines.to_prob target_nines in
+    match Probnative.Planner.plan ~target fleet with
+    | Some plan ->
+        Format.printf "%a@." Probnative.Planner.pp_plan plan;
+        let e = Probnative.Planner.execute ~seed fleet plan in
+        Format.printf "execution: safe=%b live=%b preferred-leader=%b@."
+          e.Probnative.Planner.safe e.Probnative.Planner.live
+          e.Probnative.Planner.leader_was_most_reliable
+    | None -> Format.printf "no committee of this fleet meets the target@."
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Plan a probability-native deployment (committee, quorums, leader order) \
+          and execute it once on the simulator.")
+    Term.(const run $ target_nines_arg $ mix_arg $ seed_arg)
+
+let main_cmd =
+  let doc = "probabilistic consensus reliability toolkit" in
+  Cmd.group
+    (Cmd.info "probcons" ~version:"1.0.0" ~doc)
+    [
+      analyze_cmd; tables_cmd; optimize_cmd; markov_cmd; simulate_cmd; committee_cmd;
+      benor_cmd; mixed_cmd; endtoend_cmd; bounds_cmd; plan_cmd; sweep_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/committee_sampling.ml: Faultmodel Format List Prob Probnative Quorum String

@@ -1,0 +1,1 @@
+examples/distributed_trust.ml: Faultmodel Format List Printf Prob Probcons Probnative String

@@ -1,0 +1,1 @@
+examples/heterogeneous_cluster.ml: Faultmodel Format List Markov Prob Probcons Probnative

@@ -1,0 +1,1 @@
+examples/preemptive_reconfig.ml: Faultmodel Format List Printf Prob Probnative

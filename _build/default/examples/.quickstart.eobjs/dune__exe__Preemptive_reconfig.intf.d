@@ -1,0 +1,1 @@
+examples/preemptive_reconfig.mli:

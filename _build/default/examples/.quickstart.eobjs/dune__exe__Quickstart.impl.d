@@ -1,0 +1,1 @@
+examples/quickstart.ml: Faultmodel Format List Prob Probcons Probnative

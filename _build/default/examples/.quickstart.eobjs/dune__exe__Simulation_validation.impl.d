@@ -1,0 +1,1 @@
+examples/simulation_validation.ml: Array Dessim Faultmodel Format List Pbft_sim Prob Probcons Raft_sim

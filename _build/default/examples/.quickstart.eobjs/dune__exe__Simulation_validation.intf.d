@@ -1,0 +1,1 @@
+examples/simulation_validation.mli:

@@ -1,0 +1,1 @@
+examples/spot_fleet.ml: Costmodel Format List Prob

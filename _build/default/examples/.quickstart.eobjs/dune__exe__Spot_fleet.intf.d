@@ -1,0 +1,1 @@
+examples/spot_fleet.mli:

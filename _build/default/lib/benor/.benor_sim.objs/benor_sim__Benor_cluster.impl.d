@@ -1,0 +1,1 @@
+lib/benor/benor_cluster.ml: Array Benor_node Benor_types Dessim List Option

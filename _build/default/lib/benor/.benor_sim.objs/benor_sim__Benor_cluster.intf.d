@@ -1,0 +1,1 @@
+lib/benor/benor_cluster.mli: Benor_node Dessim

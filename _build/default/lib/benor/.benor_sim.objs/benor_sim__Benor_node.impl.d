@@ -1,0 +1,1 @@
+lib/benor/benor_node.ml: Array Benor_types Dessim Int Map Printf Prob

@@ -1,0 +1,1 @@
+lib/benor/benor_node.mli: Benor_types Dessim

@@ -1,0 +1,1 @@
+lib/benor/benor_types.mli: Format

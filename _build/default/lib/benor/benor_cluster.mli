@@ -1,0 +1,44 @@
+(** A Ben-Or deployment in one simulator instance. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?latency:Dessim.Network.latency ->
+  ?drop_probability:float ->
+  ?f:int ->
+  ?common_coin:int ->
+  initial_values:int list ->
+  unit ->
+  t
+(** One node per initial value (each 0 or 1); [f] defaults to the
+    maximum tolerable [(n-1)/2]. [common_coin] enables the shared
+    per-round coin with the given seed. *)
+
+val engine : t -> Dessim.Engine.t
+val trace : t -> Dessim.Trace.t
+val node : t -> int -> Benor_node.t
+val size : t -> int
+
+val inject : t -> Dessim.Fault_injector.plan -> unit
+(** Crash plans only (Ben-Or here is the crash-fault variant). *)
+
+val run : t -> until:float -> unit
+
+type report = {
+  agreement_ok : bool;  (** All decided nodes decided the same value. *)
+  validity_ok : bool;
+      (** The decision (if any) was some node's initial value — for
+          binary consensus, violated only if unanimous inputs yield the
+          other value. *)
+  all_correct_decided : bool;
+  decisions : (int * int option) list;  (** (node, decision). *)
+  max_round : int;  (** Largest decision round among deciders. *)
+}
+
+val check : t -> correct:int list -> report
+
+val message_stats : t -> int * int
+(** [(sent, delivered)] network message counters — the communication
+    cost the paper's related work (probabilistic quorums, committee
+    sampling) trades against. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Config Faultmodel Format Printf Prob Protocol Quorum

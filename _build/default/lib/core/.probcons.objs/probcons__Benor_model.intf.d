@@ -1,0 +1,1 @@
+lib/core/benor_model.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Float Format Prob Quorum

@@ -1,0 +1,1 @@
+lib/core/durability.ml: Array Faultmodel Float Fun Int List Prob

@@ -1,0 +1,1 @@
+lib/core/durability.mli: Faultmodel

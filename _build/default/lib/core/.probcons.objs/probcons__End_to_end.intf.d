@@ -1,0 +1,1 @@
+lib/core/end_to_end.mli: Format Markov

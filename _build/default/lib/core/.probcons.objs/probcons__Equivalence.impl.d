@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Analysis List Raft_model

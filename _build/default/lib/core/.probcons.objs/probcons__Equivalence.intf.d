@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Faultmodel Protocol

@@ -1,0 +1,1 @@
+lib/core/pbft_model.ml: Printf Protocol

@@ -1,0 +1,1 @@
+lib/core/raft_model.ml: Printf Prob Protocol

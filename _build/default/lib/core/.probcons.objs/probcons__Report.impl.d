@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer List Printf Prob String

@@ -1,0 +1,1 @@
+lib/core/stake_model.ml: Array Config Float Printf Prob Protocol

@@ -1,0 +1,1 @@
+lib/core/stake_model.mli: Config Protocol

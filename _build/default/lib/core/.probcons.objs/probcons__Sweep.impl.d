@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Analysis Equivalence Faultmodel List Pbft_model Printf Prob Raft_model Report

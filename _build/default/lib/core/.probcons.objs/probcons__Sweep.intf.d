@@ -1,0 +1,1 @@
+lib/core/sweep.mli: Faultmodel Report

@@ -1,0 +1,1 @@
+lib/core/tradeoff.ml: Analysis Faultmodel Format List Pbft_model

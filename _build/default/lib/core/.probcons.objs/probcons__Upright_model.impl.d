@@ -1,0 +1,1 @@
+lib/core/upright_model.ml: Analysis Faultmodel Pbft_model Printf Protocol Raft_model

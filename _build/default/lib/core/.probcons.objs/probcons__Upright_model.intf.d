@@ -1,0 +1,1 @@
+lib/core/upright_model.mli: Analysis Faultmodel Protocol

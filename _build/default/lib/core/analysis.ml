@@ -1,0 +1,180 @@
+type strategy =
+  | Auto
+  | Count_dp
+  | Enumeration
+  | Monte_carlo of int
+
+type result = {
+  protocol : string;
+  p_safe : float;
+  p_live : float;
+  p_safe_live : float;
+  engine : string;
+  ci_safe : (float * float) option;
+  ci_live : (float * float) option;
+  ci_safe_live : (float * float) option;
+}
+
+let no_ci protocol ~engine ~p_safe ~p_live ~p_safe_live =
+  {
+    protocol;
+    p_safe = Prob.Math_utils.clamp_prob p_safe;
+    p_live = Prob.Math_utils.clamp_prob p_live;
+    p_safe_live = Prob.Math_utils.clamp_prob p_safe_live;
+    engine;
+    ci_safe = None;
+    ci_live = None;
+    ci_safe_live = None;
+  }
+
+let run_count_dp (protocol : Protocol.t) ~crash_probs ~byz_probs =
+  let safe_count, live_count =
+    match (protocol.safe.by_count, protocol.live.by_count) with
+    | Some s, Some l -> (s, l)
+    | _ -> invalid_arg "Analysis: count engine needs count predicates"
+  in
+  let dist = Config.joint_count_distribution ~crash_probs ~byz_probs in
+  let n = Array.length crash_probs in
+  let p_safe = ref 0. and p_live = ref 0. and p_both = ref 0. and mass = ref 0. in
+  for b = 0 to n do
+    for c = 0 to n - b do
+      let p = dist.(b).(c) in
+      if p > 0. then begin
+        mass := !mass +. p;
+        let safe = safe_count ~byz:b ~crashed:c in
+        let live = live_count ~byz:b ~crashed:c in
+        if safe then p_safe := !p_safe +. p;
+        if live then p_live := !p_live +. p;
+        if safe && live then p_both := !p_both +. p
+      end
+    done
+  done;
+  (* The DP's total mass is 1 up to float rounding; normalizing removes
+     the drift so structurally certain predicates report exactly 1. *)
+  let normalize p = if !mass > 0. then p /. !mass else p in
+  no_ci protocol.name ~engine:"count-dp" ~p_safe:(normalize !p_safe)
+    ~p_live:(normalize !p_live) ~p_safe_live:(normalize !p_both)
+
+let accumulate_config (protocol : Protocol.t) ~crash_probs ~byz_probs
+    (p_safe, p_live, p_both) config =
+  let p = Config.probability ~crash_probs ~byz_probs config in
+  if p > 0. then begin
+    let safe = protocol.safe.full config and live = protocol.live.full config in
+    ( (if safe then p_safe +. p else p_safe),
+      (if live then p_live +. p else p_live),
+      if safe && live then p_both +. p else p_both )
+  end
+  else (p_safe, p_live, p_both)
+
+let run_enumeration (protocol : Protocol.t) ~crash_probs ~byz_probs =
+  let n = Array.length crash_probs in
+  let all_zero a = Array.for_all (fun p -> p = 0.) a in
+  let acc = ref (0., 0., 0.) in
+  let engine =
+    if all_zero byz_probs && n <= Quorum.Subset.max_enumeration then begin
+      Config.iter_binary ~n ~byzantine:false (fun config ->
+          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
+      "enumeration-binary"
+    end
+    else if all_zero crash_probs && n <= Quorum.Subset.max_enumeration then begin
+      Config.iter_binary ~n ~byzantine:true (fun config ->
+          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
+      "enumeration-binary"
+    end
+    else begin
+      Config.iter_ternary ~n (fun config ->
+          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
+      "enumeration-ternary"
+    end
+  in
+  let p_safe, p_live, p_both = !acc in
+  no_ci protocol.name ~engine ~p_safe ~p_live ~p_safe_live:p_both
+
+let run_monte_carlo (protocol : Protocol.t) ~crash_probs ~byz_probs ~trials ~seed =
+  let rng = Prob.Rng.create seed in
+  let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
+  for _ = 1 to trials do
+    let config = Config.sample ~crash_probs ~byz_probs rng in
+    let safe = protocol.safe.full config and live = protocol.live.full config in
+    if safe then incr safe_hits;
+    if live then incr live_hits;
+    if safe && live then incr both_hits
+  done;
+  let proportion hits = float_of_int hits /. float_of_int trials in
+  {
+    protocol = protocol.name;
+    p_safe = proportion !safe_hits;
+    p_live = proportion !live_hits;
+    p_safe_live = proportion !both_hits;
+    engine = Printf.sprintf "monte-carlo(%d)" trials;
+    ci_safe = Some (Prob.Montecarlo.wilson_interval ~successes:!safe_hits ~trials);
+    ci_live = Some (Prob.Montecarlo.wilson_interval ~successes:!live_hits ~trials);
+    ci_safe_live = Some (Prob.Montecarlo.wilson_interval ~successes:!both_hits ~trials);
+  }
+
+let run ?at ?(strategy = Auto) ?(seed = 42) (protocol : Protocol.t) fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  if n <> protocol.n then
+    invalid_arg
+      (Printf.sprintf "Analysis.run: fleet size %d but protocol expects %d" n
+         protocol.n);
+  let crash_probs = Faultmodel.Fleet.crash_probs ?at fleet in
+  let byz_probs = Faultmodel.Fleet.byz_probs ?at fleet in
+  let has_counts =
+    protocol.safe.by_count <> None && protocol.live.by_count <> None
+  in
+  match strategy with
+  | Count_dp -> run_count_dp protocol ~crash_probs ~byz_probs
+  | Enumeration -> run_enumeration protocol ~crash_probs ~byz_probs
+  | Monte_carlo trials -> run_monte_carlo protocol ~crash_probs ~byz_probs ~trials ~seed
+  | Auto ->
+      if has_counts then run_count_dp protocol ~crash_probs ~byz_probs
+      else if n <= 13 || (n <= Quorum.Subset.max_enumeration
+                          && (Array.for_all (fun p -> p = 0.) byz_probs
+                             || Array.for_all (fun p -> p = 0.) crash_probs))
+      then run_enumeration protocol ~crash_probs ~byz_probs
+      else run_monte_carlo protocol ~crash_probs ~byz_probs ~trials:200_000 ~seed
+
+let run_correlated ?at ?(trials = 200_000) ?(seed = 42) model (protocol : Protocol.t)
+    fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  if n <> protocol.n then
+    invalid_arg "Analysis.run_correlated: fleet size mismatch";
+  let rng = Prob.Rng.create seed in
+  let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
+  for _ = 1 to trials do
+    let kinds = Faultmodel.Correlation.sample_kinds model fleet ?at rng in
+    let config =
+      Array.map
+        (function
+          | Faultmodel.Correlation.Ok -> Config.Correct
+          | Faultmodel.Correlation.Crash -> Config.Crashed
+          | Faultmodel.Correlation.Byz -> Config.Byzantine)
+        kinds
+    in
+    let safe = protocol.safe.full config and live = protocol.live.full config in
+    if safe then incr safe_hits;
+    if live then incr live_hits;
+    if safe && live then incr both_hits
+  done;
+  let proportion hits = float_of_int hits /. float_of_int trials in
+  {
+    protocol = protocol.name;
+    p_safe = proportion !safe_hits;
+    p_live = proportion !live_hits;
+    p_safe_live = proportion !both_hits;
+    engine = Printf.sprintf "monte-carlo-correlated(%d)" trials;
+    ci_safe = Some (Prob.Montecarlo.wilson_interval ~successes:!safe_hits ~trials);
+    ci_live = Some (Prob.Montecarlo.wilson_interval ~successes:!live_hits ~trials);
+    ci_safe_live = Some (Prob.Montecarlo.wilson_interval ~successes:!both_hits ~trials);
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt "@[<v>%s [%s]:@ safe %a, live %a, safe&live %a@]" r.protocol
+    r.engine
+    (Prob.Nines.pp_percent ?sig_nines:None)
+    r.p_safe
+    (Prob.Nines.pp_percent ?sig_nines:None)
+    r.p_live
+    (Prob.Nines.pp_percent ?sig_nines:None)
+    r.p_safe_live

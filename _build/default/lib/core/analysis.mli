@@ -1,0 +1,60 @@
+(** The probabilistic analysis engine.
+
+    Computes P(safe), P(live) and P(safe and live) for a protocol model
+    over a fleet, exactly as the paper's §3: sum the probabilities of
+    the failure configurations the model classifies as safe (resp.
+    live). Three engines, picked automatically:
+
+    - {b Count DP}: when both predicates expose a count form, the joint
+      (Byzantine, crashed) count distribution is computed by dynamic
+      program — O(n^3), heterogeneous fleets included. Every cell of
+      the paper's Tables 1 and 2 evaluates through this path.
+    - {b Exact enumeration}: node-identity-dependent predicates, up to
+      [2^24] binary or [3^13] ternary configurations.
+    - {b Monte Carlo}: anything larger, and all correlated models;
+      returns a 95% confidence interval. *)
+
+type strategy =
+  | Auto
+  | Count_dp
+  | Enumeration
+  | Monte_carlo of int  (** Number of trials. *)
+
+type result = {
+  protocol : string;
+  p_safe : float;
+  p_live : float;
+  p_safe_live : float;
+  engine : string;  (** Which engine produced the numbers. *)
+  ci_safe : (float * float) option;  (** Monte Carlo only. *)
+  ci_live : (float * float) option;
+  ci_safe_live : (float * float) option;
+}
+
+val run :
+  ?at:float ->
+  ?strategy:strategy ->
+  ?seed:int ->
+  Protocol.t ->
+  Faultmodel.Fleet.t ->
+  result
+(** [at] is the mission time at which fault curves are evaluated
+    (default one year). Raises [Invalid_argument] when the fleet size
+    does not match the protocol's [n], or when a forced strategy cannot
+    handle the instance. *)
+
+val run_correlated :
+  ?at:float ->
+  ?trials:int ->
+  ?seed:int ->
+  Faultmodel.Correlation.t ->
+  Protocol.t ->
+  Faultmodel.Fleet.t ->
+  result
+(** Monte-Carlo analysis under a correlated failure model. Fault kinds
+    follow [Correlation.sample_kinds]: a node's own fault is Byzantine
+    with its [byz_fraction]; domain shocks carry their own
+    [byzantine_shock] flag (a TEE vulnerability compromises, a rack
+    power event crashes). *)
+
+val pp_result : Format.formatter -> result -> unit

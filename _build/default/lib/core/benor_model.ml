@@ -1,0 +1,15 @@
+type params = { n : int; f : int }
+
+let make ~n ~f =
+  if n <= 0 then invalid_arg "Benor_model.make: n must be positive";
+  if f < 0 || 2 * f >= n then invalid_arg "Benor_model.make: requires 2f < n";
+  { n; f }
+
+let default n = make ~n ~f:((n - 1) / 2)
+
+let protocol { n; f } =
+  let safe = Protocol.count_predicate ~n (fun ~byz ~crashed:_ -> byz = 0) in
+  let live =
+    Protocol.count_predicate ~n (fun ~byz ~crashed -> byz = 0 && crashed <= f)
+  in
+  { Protocol.name = Printf.sprintf "ben-or(n=%d,f=%d)" n f; n; safe; live }

@@ -1,0 +1,18 @@
+(** Reliability model of crash-fault Ben-Or randomized consensus.
+
+    Quorum-free agreement: safety (agreement + validity) holds under
+    {e any} number of crashes — there are no intersecting quorums to
+    break — while termination (with probability 1) requires at least
+    [n - f] correct nodes. A Byzantine node voids the crash-fault
+    argument entirely, as with Raft. The model behind the "beyond
+    quorums" direction of the paper's §4. *)
+
+type params = { n : int; f : int }
+
+val default : int -> params
+(** Maximum tolerance: [f = (n - 1) / 2]. *)
+
+val make : n:int -> f:int -> params
+(** Requires [2 f < n]. *)
+
+val protocol : params -> Protocol.t

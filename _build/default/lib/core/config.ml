@@ -1,0 +1,98 @@
+type status = Correct | Crashed | Byzantine
+
+type t = status array
+
+let of_failed_subset ~n ~byzantine failed =
+  Array.init n (fun u ->
+      if Quorum.Subset.mem failed u then (if byzantine then Byzantine else Crashed)
+      else Correct)
+
+let count status t =
+  Array.fold_left (fun acc s -> if s = status then acc + 1 else acc) 0 t
+
+let num_correct = count Correct
+let num_crashed = count Crashed
+let num_byzantine = count Byzantine
+let num_faulty t = Array.length t - num_correct t
+
+let set_of pred t =
+  let s = ref Quorum.Subset.empty in
+  Array.iteri (fun u st -> if pred st then s := Quorum.Subset.add !s u) t;
+  !s
+
+let correct_set = set_of (fun s -> s = Correct)
+let faulty_set = set_of (fun s -> s <> Correct)
+let byzantine_set = set_of (fun s -> s = Byzantine)
+
+let probability ~crash_probs ~byz_probs t =
+  let p = ref 1. in
+  Array.iteri
+    (fun u status ->
+      let pc = crash_probs.(u) and pb = byz_probs.(u) in
+      let factor =
+        match status with
+        | Correct -> 1. -. pc -. pb
+        | Crashed -> pc
+        | Byzantine -> pb
+      in
+      p := !p *. factor)
+    t;
+  Prob.Math_utils.clamp_prob !p
+
+let sample ~crash_probs ~byz_probs rng =
+  Array.init (Array.length crash_probs) (fun u ->
+      let roll = Prob.Rng.float rng in
+      if roll < byz_probs.(u) then Byzantine
+      else if roll < byz_probs.(u) +. crash_probs.(u) then Crashed
+      else Correct)
+
+let joint_count_distribution ~crash_probs ~byz_probs =
+  let n = Array.length crash_probs in
+  if Array.length byz_probs <> n then
+    invalid_arg "Config.joint_count_distribution: length mismatch";
+  let dist = Array.make_matrix (n + 1) (n + 1) 0. in
+  dist.(0).(0) <- 1.;
+  for u = 0 to n - 1 do
+    let pb = byz_probs.(u) and pc = crash_probs.(u) in
+    let pcorrect = 1. -. pb -. pc in
+    if pcorrect < -.1e-12 then
+      invalid_arg "Config.joint_count_distribution: crash+byz probability exceeds 1";
+    let pcorrect = Float.max 0. pcorrect in
+    (* Walk counts downward so node u contributes exactly once. *)
+    for b = min u (n - 1) + 1 downto 0 do
+      for c = min u (n - 1) + 1 downto 0 do
+        let from_same = if b <= u && c <= u then dist.(b).(c) *. pcorrect else 0. in
+        let from_byz = if b > 0 then dist.(b - 1).(c) *. pb else 0. in
+        let from_crash = if c > 0 then dist.(b).(c - 1) *. pc else 0. in
+        dist.(b).(c) <- from_same +. from_byz +. from_crash
+      done
+    done
+  done;
+  dist
+
+let iter_binary ~n ~byzantine f =
+  Quorum.Subset.iter_subsets n (fun failed ->
+      f (of_failed_subset ~n ~byzantine failed))
+
+let iter_ternary ~n f =
+  if n > 13 then invalid_arg "Config.iter_ternary: universe too large";
+  let statuses = Array.make n Correct in
+  let rec go u =
+    if u = n then f (Array.copy statuses)
+    else begin
+      statuses.(u) <- Correct;
+      go (u + 1);
+      statuses.(u) <- Crashed;
+      go (u + 1);
+      statuses.(u) <- Byzantine;
+      go (u + 1)
+    end
+  in
+  go 0
+
+let pp fmt t =
+  Array.iter
+    (fun s ->
+      Format.pp_print_char fmt
+        (match s with Correct -> '.' | Crashed -> 'x' | Byzantine -> 'B'))
+    t

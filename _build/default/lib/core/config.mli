@@ -1,0 +1,48 @@
+(** Failure configurations.
+
+    The paper's §3 analysis enumerates the [2^N] (or, with crash and
+    Byzantine faults distinguished, [3^N]) possible combinations of
+    machine failures and weights each by its probability. A
+    configuration assigns every node a status. *)
+
+type status = Correct | Crashed | Byzantine
+
+type t = status array
+
+val of_failed_subset : n:int -> byzantine:bool -> Quorum.Subset.t -> t
+(** Configuration in which exactly the given subset has failed —
+    Byzantine failures when [byzantine], crashes otherwise. *)
+
+val num_correct : t -> int
+val num_crashed : t -> int
+val num_byzantine : t -> int
+
+val num_faulty : t -> int
+(** Crashed + Byzantine. *)
+
+val correct_set : t -> Quorum.Subset.t
+val faulty_set : t -> Quorum.Subset.t
+val byzantine_set : t -> Quorum.Subset.t
+
+val probability : crash_probs:float array -> byz_probs:float array -> t -> float
+(** Probability of this exact configuration under independent per-node
+    faults. [crash_probs.(u) + byz_probs.(u)] must not exceed 1. *)
+
+val sample : crash_probs:float array -> byz_probs:float array -> Prob.Rng.t -> t
+(** Draw a configuration under independence. *)
+
+val joint_count_distribution :
+  crash_probs:float array -> byz_probs:float array -> float array array
+(** [d.(b).(c)] = P(exactly [b] Byzantine and [c] crashed nodes) — the
+    two-type generalization of the Poisson binomial, computed by an
+    O(n^3) dynamic program. Drives the count-only fast path that
+    evaluates every cell of the paper's tables. *)
+
+val iter_binary : n:int -> byzantine:bool -> (t -> unit) -> unit
+(** Enumerate all [2^n] configurations whose failures are all of one
+    kind. Raises for [n > 24]. *)
+
+val iter_ternary : n:int -> (t -> unit) -> unit
+(** Enumerate all [3^n] configurations. Raises for [n > 13]. *)
+
+val pp : Format.formatter -> t -> unit

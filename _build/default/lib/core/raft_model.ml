@@ -1,0 +1,40 @@
+type params = { n : int; q_per : int; q_vc : int }
+
+let default n =
+  if n <= 0 then invalid_arg "Raft_model.default: n must be positive";
+  let majority = (n / 2) + 1 in
+  { n; q_per = majority; q_vc = majority }
+
+let flexible ~n ~q_per ~q_vc =
+  if n <= 0 then invalid_arg "Raft_model.flexible: n must be positive";
+  if q_per < 1 || q_per > n || q_vc < 1 || q_vc > n then
+    invalid_arg "Raft_model.flexible: quorum sizes must be within [1, n]";
+  { n; q_per; q_vc }
+
+let structurally_safe { n; q_per; q_vc } = n < q_per + q_vc && n < 2 * q_vc
+
+let protocol params =
+  let n = params.n in
+  let safe_structurally = structurally_safe params in
+  let safe =
+    (* Crash faults cannot break a structurally safe Raft; a Byzantine
+       fault breaks any Raft. *)
+    Protocol.count_predicate ~n (fun ~byz ~crashed:_ ->
+        safe_structurally && byz = 0)
+  in
+  let need = max params.q_per params.q_vc in
+  let live =
+    Protocol.count_predicate ~n (fun ~byz ~crashed ->
+        n - byz - crashed >= need)
+  in
+  { Protocol.name = Printf.sprintf "raft(n=%d,qper=%d,qvc=%d)" n params.q_per params.q_vc;
+    n; safe; live }
+
+let safe_and_live_uniform ~n ~p =
+  let params = default n in
+  if not (structurally_safe params) then 0.
+  else begin
+    (* Safe is structural; live requires a majority of survivors. *)
+    let failures_tolerated = n - max params.q_per params.q_vc in
+    Prob.Distribution.binomial_cdf ~n ~p failures_tolerated
+  end

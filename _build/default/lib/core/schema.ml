@@ -1,0 +1,98 @@
+type requirement =
+  | Correct_intersection of string * string
+  | Node_intersection of string * string
+  | Correct_member of string
+  | Trigger_slack of { trigger : string; full : string }
+
+type t = {
+  name : string;
+  n : int;
+  quorums : (string * int) list;
+  byzantine_faults : bool;
+  safety : requirement list;
+  liveness_steps : string list;
+  liveness : requirement list;
+}
+
+let quorum_size schema step =
+  match List.assoc_opt step schema.quorums with
+  | Some q -> q
+  | None -> invalid_arg (Printf.sprintf "Schema: unknown step %S" step)
+
+let validate schema =
+  if schema.n <= 0 then invalid_arg "Schema: n must be positive";
+  List.iter
+    (fun (step, q) ->
+      if q < 1 || q > schema.n then
+        invalid_arg (Printf.sprintf "Schema: quorum %S out of range" step))
+    schema.quorums;
+  let check_step step = ignore (quorum_size schema step) in
+  let check_requirement = function
+    | Correct_intersection (a, b) | Node_intersection (a, b) ->
+        check_step a;
+        check_step b
+    | Correct_member s -> check_step s
+    | Trigger_slack { trigger; full } ->
+        check_step trigger;
+        check_step full
+  in
+  List.iter check_requirement schema.safety;
+  List.iter check_requirement schema.liveness;
+  List.iter check_step schema.liveness_steps
+
+(* A requirement holds in a configuration with [byz] Byzantine nodes
+   when the worst-case placement of those nodes cannot break it. *)
+let requirement_holds schema ~byz = function
+  | Correct_intersection (a, b) ->
+      byz < quorum_size schema a + quorum_size schema b - schema.n
+  | Node_intersection (a, b) ->
+      quorum_size schema a + quorum_size schema b > schema.n
+  | Correct_member s -> byz < quorum_size schema s
+  | Trigger_slack { trigger; full } ->
+      byz <= quorum_size schema full - quorum_size schema trigger
+
+let protocol schema =
+  validate schema;
+  let n = schema.n in
+  let safe =
+    (* A CFT schema has no argument against Byzantine nodes at all. *)
+    Protocol.count_predicate ~n (fun ~byz ~crashed:_ ->
+        (schema.byzantine_faults || byz = 0)
+        && List.for_all (requirement_holds schema ~byz) schema.safety)
+  in
+  let liveness_need =
+    List.fold_left (fun acc step -> max acc (quorum_size schema step)) 0
+      schema.liveness_steps
+  in
+  let live =
+    Protocol.count_predicate ~n (fun ~byz ~crashed ->
+        n - byz - crashed >= liveness_need
+        && List.for_all (requirement_holds schema ~byz) schema.liveness)
+  in
+  { Protocol.name = Printf.sprintf "schema:%s" schema.name; n; safe; live }
+
+let raft n =
+  let majority = (n / 2) + 1 in
+  {
+    name = Printf.sprintf "raft(n=%d)" n;
+    n;
+    quorums = [ ("per", majority); ("vc", majority) ];
+    byzantine_faults = false;
+    safety = [ Node_intersection ("per", "vc"); Node_intersection ("vc", "vc") ];
+    liveness_steps = [ "per"; "vc" ];
+    liveness = [];
+  }
+
+let pbft n =
+  let f = (n - 1) / 3 in
+  let q = n - f in
+  {
+    name = Printf.sprintf "pbft(n=%d)" n;
+    n;
+    quorums = [ ("eq", q); ("per", q); ("vc", q); ("vc_t", f + 1) ];
+    byzantine_faults = true;
+    safety = [ Correct_intersection ("eq", "eq"); Correct_intersection ("per", "vc") ];
+    liveness_steps = [ "eq"; "per"; "vc" ];
+    liveness =
+      [ Trigger_slack { trigger = "vc_t"; full = "vc" }; Correct_member "vc_t" ];
+  }

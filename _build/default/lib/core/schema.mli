@@ -1,0 +1,56 @@
+(** Generic quorum-step protocol schemas — the paper's §3.1, executable.
+
+    "Most consensus protocols follow a similar structure": steps that
+    each wait for a quorum, with safety hanging on quorum intersection
+    invariants and liveness on quorum formability. This module encodes
+    that structure directly: declare the steps, their quorum sizes and
+    the invariants between them, and the safety/liveness predicates of
+    Theorems 3.1 and 3.2 fall out mechanically — for Raft, PBFT, and
+    any protocol a user describes the same way.
+
+    The test suite proves the derivation faithful: the schema-derived
+    predicates coincide with the hand-written theorem models on every
+    failure configuration. *)
+
+type requirement =
+  | Correct_intersection of string * string
+      (** Any two quorums of these steps share at least one {e correct}
+          node (BFT intersection): needs [|Byz| < q_a + q_b - n]. *)
+  | Node_intersection of string * string
+      (** Any two quorums share at least one node (CFT intersection):
+          needs [q_a + q_b > n], independently of the configuration. *)
+  | Correct_member of string
+      (** Any quorum of this step contains at least one correct node:
+          needs [|Byz| < q]. *)
+  | Trigger_slack of { trigger : string; full : string }
+      (** Byzantine nodes alone must not bridge the gap between the
+          trigger and full quorum: needs [|Byz| <= q_full - q_trigger]. *)
+
+type t = {
+  name : string;
+  n : int;
+  quorums : (string * int) list;  (** Step name → quorum size. *)
+  byzantine_faults : bool;
+      (** Whether the protocol argues safety under Byzantine nodes at
+          all; when [false] (CFT), any Byzantine node voids safety. *)
+  safety : requirement list;
+  liveness_steps : string list;
+      (** Steps that must be formable from correct nodes alone. *)
+  liveness : requirement list;
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on unknown step names or quorum sizes
+    outside [1, n]. *)
+
+val protocol : t -> Protocol.t
+(** Derive the analysis-ready safety/liveness predicates. *)
+
+val raft : int -> t
+(** Standard Raft as a schema: persistence and view-change quorums,
+    CFT node-intersection invariants — derives Theorem 3.2. *)
+
+val pbft : int -> t
+(** Standard PBFT as a schema: non-equivocation, persistence,
+    view-change and trigger quorums with the BFT invariants — derives
+    Theorem 3.1. *)

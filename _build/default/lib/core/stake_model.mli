@@ -1,0 +1,34 @@
+(** Stake-weighted (proof-of-stake style) reliability model.
+
+    The paper's §2: "stake in blockchain systems captures a similar
+    idea: nodes with higher stake have more to lose... and thus are
+    considered more trustworthy", and its related work covers
+    stake-based protocols that assume more than f {e stake} never
+    fails. Here the threshold is over stake, not node count, so the
+    predicate depends on {e which} nodes fail — this model exercises
+    the analysis engine's exact-enumeration path rather than the count
+    DP. *)
+
+type params = {
+  stakes : float array;  (** Per-node stake (positive). *)
+  byz_stake_bound : float;
+      (** Safety holds while Byzantine stake fraction is strictly below
+          this bound (default 1/3). *)
+  live_stake_bound : float;
+      (** Liveness holds while correct stake fraction is at least this
+          bound (default 2/3). *)
+}
+
+val make :
+  ?byz_stake_bound:float -> ?live_stake_bound:float -> float array -> params
+(** Validates positivity of stakes and bounds within (0, 1]. *)
+
+val protocol : params -> Protocol.t
+
+val byz_stake_fraction : params -> Config.t -> float
+val correct_stake_fraction : params -> Config.t -> float
+
+val nakamoto_coefficient : params -> int
+(** Smallest number of nodes whose combined stake reaches the Byzantine
+    bound — the usual decentralization metric: how few compromises
+    break safety. *)

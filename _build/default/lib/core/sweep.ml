@@ -1,0 +1,79 @@
+let pct = Prob.Nines.percent_string
+
+let raft_grid ~ns ~ps =
+  let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
+  let t = Report.create ~header in
+  List.iter
+    (fun n ->
+      Report.add_row t
+        (string_of_int n
+        :: List.map (fun p -> pct (Raft_model.safe_and_live_uniform ~n ~p)) ps))
+    ns;
+  t
+
+let pbft_grid ~ns ~ps =
+  let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
+  let t = Report.create ~header in
+  List.iter
+    (fun n ->
+      let proto = Pbft_model.protocol (Pbft_model.default n) in
+      Report.add_row t
+        (string_of_int n
+        :: List.map
+             (fun p ->
+               let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
+               pct (Analysis.run proto fleet).Analysis.p_safe_live)
+             ps))
+    ns;
+  t
+
+let pbft_safety_liveness_grid ~ns ~p =
+  let t = Report.create ~header:[ "N"; "safe"; "live"; "safe&live"; "safe-or-accountable" ] in
+  List.iter
+    (fun n ->
+      let params = Pbft_model.default n in
+      let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
+      let r = Analysis.run (Pbft_model.protocol params) fleet in
+      let forensic = Analysis.run (Pbft_model.safe_or_accountable params) fleet in
+      Report.add_row t
+        [
+          string_of_int n;
+          pct r.Analysis.p_safe;
+          pct r.Analysis.p_live;
+          pct r.Analysis.p_safe_live;
+          pct forensic.Analysis.p_safe;
+        ])
+    ns;
+  t
+
+let timeline fleet ~times =
+  let n = Faultmodel.Fleet.size fleet in
+  let proto = Raft_model.protocol (Raft_model.default n) in
+  let t = Report.create ~header:[ "mission time (h)"; "safe&live"; "nines" ] in
+  List.iter
+    (fun at ->
+      let r = Analysis.run ~at proto fleet in
+      Report.add_row t
+        [
+          Printf.sprintf "%.0f" at;
+          pct r.Analysis.p_safe_live;
+          Printf.sprintf "%.2f" (Prob.Nines.of_prob r.Analysis.p_safe_live);
+        ])
+    times;
+  t
+
+let min_cluster_frontier ~targets ~ps =
+  let header = "target" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
+  let t = Report.create ~header in
+  List.iter
+    (fun target ->
+      Report.add_row t
+        (pct target
+        :: List.map
+             (fun p ->
+               match Equivalence.min_raft_cluster ~target ~p () with
+               | Some e -> string_of_int e.Equivalence.n
+               | None -> "-")
+             ps))
+    targets;
+  t

@@ -1,0 +1,1 @@
+lib/cost/machine.ml: Faultmodel Format

@@ -1,0 +1,1 @@
+lib/cost/machine.mli: Faultmodel Format

@@ -1,0 +1,1 @@
+lib/cost/optimizer.ml: Format List Machine Prob Probcons

@@ -1,0 +1,1 @@
+lib/cost/optimizer.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/faultmodel/correlation.ml: Array Fleet List Node Prob

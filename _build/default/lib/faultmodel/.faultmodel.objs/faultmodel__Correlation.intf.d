@@ -1,0 +1,1 @@
+lib/faultmodel/correlation.mli: Fleet Prob

@@ -1,0 +1,1 @@
+lib/faultmodel/fault_curve.ml: Array Float Format Prob

@@ -1,0 +1,1 @@
+lib/faultmodel/fleet.ml: Array Fault_curve Float Format Fun Int List Node Prob

@@ -1,0 +1,1 @@
+lib/faultmodel/fleet.mli: Format Node

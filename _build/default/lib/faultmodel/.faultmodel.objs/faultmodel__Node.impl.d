@@ -1,0 +1,1 @@
+lib/faultmodel/node.ml: Fault_curve Format Printf

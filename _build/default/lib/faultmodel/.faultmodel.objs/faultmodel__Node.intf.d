@@ -1,0 +1,1 @@
+lib/faultmodel/node.mli: Fault_curve Format

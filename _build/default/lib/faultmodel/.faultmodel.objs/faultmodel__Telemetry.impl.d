@@ -1,0 +1,1 @@
+lib/faultmodel/telemetry.ml: Array Fault_curve Float List Prob

@@ -1,0 +1,1 @@
+lib/faultmodel/telemetry.mli: Fault_curve Prob

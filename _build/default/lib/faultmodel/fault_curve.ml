@@ -1,0 +1,86 @@
+type t =
+  | Constant of float
+  | Exponential of { rate : float }
+  | Weibull of { shape : float; scale : float }
+  | Bathtub of { infant : t; useful : t; wearout : t; t1 : float; t2 : float }
+  | Empirical of (float * float) array
+  | Scaled of { factor : float; curve : t }
+  | Shifted of { offset : float; curve : t }
+
+let hours_per_year = 8766.
+
+let rec eval curve t =
+  let p =
+    match curve with
+    | Constant p -> p
+    | Exponential { rate } -> -.Float.expm1 (-.rate *. Float.max 0. t)
+    | Weibull { shape; scale } ->
+        1. -. Prob.Distribution.weibull_survival ~shape ~scale (Float.max 0. t)
+    | Bathtub { infant; useful; wearout; t1; t2 } ->
+        if t < t1 then eval infant t
+        else if t < t2 then eval useful t
+        else eval wearout t
+    | Empirical points -> eval_empirical points t
+    | Scaled { factor; curve } -> factor *. eval curve t
+    | Shifted { offset; curve } -> if t < offset then 0. else eval curve (t -. offset)
+  in
+  Prob.Math_utils.clamp_prob p
+
+and eval_empirical points t =
+  let n = Array.length points in
+  if n = 0 then 0.
+  else begin
+    let t0, p0 = points.(0) and tn, pn = points.(n - 1) in
+    if t <= t0 then p0
+    else if t >= tn then pn
+    else begin
+      (* Binary search for the segment containing t. *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fst points.(mid) <= t then lo := mid else hi := mid
+      done;
+      let ta, pa = points.(!lo) and tb, pb = points.(!hi) in
+      if tb = ta then pa else pa +. ((pb -. pa) *. (t -. ta) /. (tb -. ta))
+    end
+  end
+
+let constant p = Constant (Prob.Math_utils.clamp_prob p)
+
+let of_afr afr =
+  let afr = Prob.Math_utils.clamp_prob afr in
+  if afr >= 1. then Exponential { rate = 1e3 }
+  else Exponential { rate = -.Float.log1p (-.afr) /. hours_per_year }
+
+let afr curve = eval curve hours_per_year
+
+let rec hazard_rate curve t =
+  match curve with
+  | Exponential { rate } -> rate
+  | Weibull { shape; scale } -> Prob.Distribution.weibull_hazard ~shape ~scale t
+  | Shifted { offset; curve } ->
+      if t < offset then 0. else hazard_rate curve (t -. offset)
+  | Constant _ | Bathtub _ | Empirical _ | Scaled _ ->
+      (* h(t) = f(t) / S(t), with f estimated by a central difference. *)
+      let dt = Float.max 1e-6 (Float.abs t *. 1e-6) in
+      let p_lo = eval curve (Float.max 0. (t -. dt)) in
+      let p_hi = eval curve (t +. dt) in
+      let survival = 1. -. eval curve t in
+      if survival <= 0. then infinity
+      else Float.max 0. ((p_hi -. p_lo) /. (2. *. dt)) /. survival
+
+let window_probability curve ~start ~duration =
+  let p_start = eval curve start in
+  let p_end = eval curve (start +. duration) in
+  let survival = 1. -. p_start in
+  if survival <= 0. then 1.
+  else Prob.Math_utils.clamp_prob ((p_end -. p_start) /. survival)
+
+let rec pp fmt = function
+  | Constant p -> Format.fprintf fmt "constant(%g)" p
+  | Exponential { rate } -> Format.fprintf fmt "exp(rate=%g/h)" rate
+  | Weibull { shape; scale } -> Format.fprintf fmt "weibull(k=%g, lambda=%g)" shape scale
+  | Bathtub { t1; t2; _ } -> Format.fprintf fmt "bathtub(t1=%g, t2=%g)" t1 t2
+  | Empirical points -> Format.fprintf fmt "empirical(%d points)" (Array.length points)
+  | Scaled { factor; curve } -> Format.fprintf fmt "%g*%a" factor pp curve
+  | Shifted { offset; curve } -> Format.fprintf fmt "%a@@+%gh" pp curve offset

@@ -1,0 +1,51 @@
+(** Synthetic telemetry and fault-curve estimation.
+
+    The paper argues fault curves "can be computed using the large
+    amount of telemetry that modern deployments track" (§1). Real
+    telemetry is proprietary, so this module closes the loop
+    synthetically: generate device lifetimes from a known ground-truth
+    curve, observe them over a monitoring window, and fit a curve back
+    — the estimation path a production deployment would run on its own
+    fleet data. *)
+
+type observation = {
+  devices : int;  (** Devices under observation. *)
+  device_hours : float;  (** Total observed uptime across the fleet. *)
+  failures : int;  (** Devices that failed inside the window. *)
+  lifetimes : float array;  (** Failure times of the failed devices. *)
+  window : float;  (** Observation window length in hours. *)
+}
+
+val sample_lifetime : Prob.Rng.t -> Fault_curve.t -> float
+(** Draw a lifetime (hours) from a curve by inverse-transform sampling
+    (numeric inversion for shapes without a closed form). *)
+
+val observe : Prob.Rng.t -> Fault_curve.t -> devices:int -> window:float -> observation
+(** Simulate a fleet of identical devices watched for [window] hours;
+    lifetimes beyond the window are right-censored into
+    [device_hours]. *)
+
+val afr_of_observation : observation -> float
+(** Point AFR estimate: failures per device-year, converted to a
+    one-year failure probability. *)
+
+val afr_confidence : observation -> float * float
+(** 95% interval on the AFR (normal approximation to the Poisson
+    count, clamped to [0, 1]). *)
+
+val fit_exponential : observation -> Fault_curve.t
+(** Censoring-aware exponential MLE: rate = failures / device-hours. *)
+
+val fit_weibull : observation -> Fault_curve.t
+(** Censoring-aware Weibull MLE: surviving devices enter the
+    likelihood as right-censored at the window, so short monitoring
+    windows no longer bias the shape toward infant mortality.
+    Requires >= 2 failures. *)
+
+val fit_weibull_uncensored : observation -> Fault_curve.t
+(** The naive fit on failed devices only — kept for comparison; badly
+    biased when the window censors most lifetimes. *)
+
+val fit_auto : observation -> Fault_curve.t
+(** Picks exponential vs Weibull by the uncensored log-likelihood;
+    falls back to exponential when there are too few failures. *)

@@ -1,0 +1,1 @@
+lib/markov/ctmc.ml: Array Linalg List Prob

@@ -1,0 +1,1 @@
+lib/markov/ctmc.mli: Linalg Prob

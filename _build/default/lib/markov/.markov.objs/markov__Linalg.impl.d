@@ -1,0 +1,1 @@
+lib/markov/linalg.ml: Array Float

@@ -1,0 +1,1 @@
+lib/markov/repair_model.mli: Ctmc

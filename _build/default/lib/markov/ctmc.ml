@@ -1,0 +1,100 @@
+type t = { n : int; q : Linalg.matrix }
+
+let create n =
+  if n <= 0 then invalid_arg "Ctmc.create: need at least one state";
+  { n; q = Linalg.make n n }
+
+let add_rate t ~src ~dst rate =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Ctmc.add_rate: state out of range";
+  if src = dst then invalid_arg "Ctmc.add_rate: self-loop";
+  if rate < 0. then invalid_arg "Ctmc.add_rate: negative rate";
+  t.q.(src).(dst) <- t.q.(src).(dst) +. rate;
+  t.q.(src).(src) <- t.q.(src).(src) -. rate
+
+let size t = t.n
+
+let generator t = Linalg.copy t.q
+
+let steady_state t = Linalg.solve_normalized_nullspace t.q
+
+let expected_time_to_absorption t ~absorbing ~start =
+  if absorbing start then 0.
+  else begin
+    (* Over transient states: sum_j Q_ij h_j = -1, with h = 0 on the
+       absorbing set. *)
+    let transient = ref [] in
+    for i = t.n - 1 downto 0 do
+      if not (absorbing i) then transient := i :: !transient
+    done;
+    let transient = Array.of_list !transient in
+    let index = Array.make t.n (-1) in
+    Array.iteri (fun k i -> index.(i) <- k) transient;
+    let m = Array.length transient in
+    let a = Linalg.make m m and b = Array.make m (-1.) in
+    for k = 0 to m - 1 do
+      for kj = 0 to m - 1 do
+        a.(k).(kj) <- t.q.(transient.(k)).(transient.(kj))
+      done
+    done;
+    match Linalg.solve a b with
+    | h -> h.(index.(start))
+    | exception Failure _ -> infinity
+  end
+
+let absorption_probability t ~absorbing_a ~absorbing_b ~start =
+  if absorbing_a start then 1.
+  else if absorbing_b start then 0.
+  else begin
+    let transient = ref [] in
+    for i = t.n - 1 downto 0 do
+      if not (absorbing_a i || absorbing_b i) then transient := i :: !transient
+    done;
+    let transient = Array.of_list !transient in
+    let index = Array.make t.n (-1) in
+    Array.iteri (fun k i -> index.(i) <- k) transient;
+    let m = Array.length transient in
+    (* sum_{j transient} Q_ij u_j = - sum_{j in A} Q_ij. *)
+    let a = Linalg.make m m and b = Array.make m 0. in
+    for k = 0 to m - 1 do
+      let i = transient.(k) in
+      for kj = 0 to m - 1 do
+        a.(k).(kj) <- t.q.(i).(transient.(kj))
+      done;
+      for j = 0 to t.n - 1 do
+        if absorbing_a j then b.(k) <- b.(k) -. t.q.(i).(j)
+      done
+    done;
+    match Linalg.solve a b with
+    | u -> Prob.Math_utils.clamp_prob u.(index.(start))
+    | exception Failure _ -> 0.
+  end
+
+let simulate t rng ~start ~horizon =
+  let rec go time state acc =
+    let total_rate = -.t.q.(state).(state) in
+    if total_rate <= 0. then List.rev acc (* absorbing *)
+    else begin
+      let dwell = Prob.Rng.exponential rng total_rate in
+      let time' = time +. dwell in
+      if time' > horizon then List.rev acc
+      else begin
+        (* Pick the destination proportionally to its rate. *)
+        let roll = Prob.Rng.float rng *. total_rate in
+        let dst = ref state and acc_rate = ref 0. in
+        (try
+           for j = 0 to t.n - 1 do
+             if j <> state && t.q.(state).(j) > 0. then begin
+               acc_rate := !acc_rate +. t.q.(state).(j);
+               if roll < !acc_rate then begin
+                 dst := j;
+                 raise Exit
+               end
+             end
+           done
+         with Exit -> ());
+        go time' !dst ((time', !dst) :: acc)
+      end
+    end
+  in
+  go 0. start [ (0., start) ]

@@ -1,0 +1,41 @@
+(** Continuous-time Markov chains.
+
+    The storage community quantifies reliability with Markov models —
+    states are configurations (number of operational disks), and
+    transitions carry failure rates (lambda) and repair rates (mu);
+    MTTF and MTTDL fall out as absorption times (the paper's §2). This
+    module provides exactly that machinery for consensus clusters. *)
+
+type t
+(** A CTMC over states [0 .. size-1]. *)
+
+val create : int -> t
+(** All-zero generator; add transitions with {!add_rate}. *)
+
+val add_rate : t -> src:int -> dst:int -> float -> unit
+(** Accumulate a transition rate; diagonal entries are maintained
+    automatically. Rates must be nonnegative and [src <> dst]. *)
+
+val size : t -> int
+
+val generator : t -> Linalg.matrix
+(** The generator matrix Q (rows sum to zero). *)
+
+val steady_state : t -> float array
+(** Stationary distribution; requires an irreducible chain. *)
+
+val expected_time_to_absorption : t -> absorbing:(int -> bool) -> start:int -> float
+(** Mean hitting time of the absorbing set from [start]; [0.] when
+    [start] is itself absorbing, [infinity] when the set is
+    unreachable. Solves the standard linear system over transient
+    states. *)
+
+val absorption_probability :
+  t -> absorbing_a:(int -> bool) -> absorbing_b:(int -> bool) -> start:int -> float
+(** Probability of hitting set A before set B. *)
+
+val simulate :
+  t -> Prob.Rng.t -> start:int -> horizon:float -> (float * int) list
+(** Jump-chain simulation up to the time horizon: list of
+    [(entry_time, state)] pairs, first element [(0., start)]. Used to
+    cross-validate the analytic solutions. *)

@@ -1,0 +1,1 @@
+lib/pbft/pbft_checker.ml: Array Dessim Format List Pbft_cluster Printf String

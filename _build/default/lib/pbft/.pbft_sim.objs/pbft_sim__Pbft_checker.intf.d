@@ -1,0 +1,1 @@
+lib/pbft/pbft_checker.mli: Format Pbft_cluster

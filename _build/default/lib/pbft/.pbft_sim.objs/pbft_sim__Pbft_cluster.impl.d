@@ -1,0 +1,1 @@
+lib/pbft/pbft_cluster.ml: Array Dessim List Option Pbft_node Pbft_types

@@ -1,0 +1,1 @@
+lib/pbft/pbft_cluster.mli: Dessim Pbft_node

@@ -1,0 +1,1 @@
+lib/pbft/pbft_node.ml: Dessim Hashtbl Int List Pbft_types Printf Set

@@ -1,0 +1,1 @@
+lib/pbft/pbft_node.mli: Dessim Pbft_types

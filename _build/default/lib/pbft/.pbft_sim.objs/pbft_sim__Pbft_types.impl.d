@@ -1,0 +1,1 @@
+lib/pbft/pbft_types.ml: Format List

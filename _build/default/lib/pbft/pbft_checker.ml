@@ -1,0 +1,61 @@
+type report = {
+  agreement_ok : bool;
+  live : bool;
+  executed_counts : int array;
+  view_changes : int;
+  violations : string list;
+}
+
+let prefix_compatible a b =
+  let rec go = function
+    | [], _ | _, [] -> true
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+  in
+  go (a, b)
+
+let check cluster ~expected ~correct ~honest =
+  let n = Pbft_cluster.size cluster in
+  let executed = Array.init n (fun i -> Pbft_cluster.executed cluster i) in
+  let violations = ref [] in
+  let agreement_ok = ref true in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          if i < j && not (prefix_compatible executed.(i) executed.(j)) then begin
+            agreement_ok := false;
+            violations :=
+              Printf.sprintf "honest nodes %d and %d executed divergent sequences" i j
+              :: !violations
+          end)
+        honest)
+    honest;
+  let live = ref true in
+  List.iter
+    (fun node_id ->
+      List.iter
+        (fun cmd ->
+          if not (List.mem cmd executed.(node_id)) then begin
+            live := false;
+            violations :=
+              Printf.sprintf "correct node %d never executed command %d" node_id cmd
+              :: !violations
+          end)
+        expected)
+    correct;
+  {
+    agreement_ok = !agreement_ok;
+    live = !live;
+    executed_counts = Array.map List.length executed;
+    view_changes = Dessim.Trace.count (Pbft_cluster.trace cluster) ~tag:"view-change";
+    violations = List.rev !violations;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "agreement=%b live=%b executed=[%s] view-changes=%d%s"
+    r.agreement_ok r.live
+    (String.concat ";" (Array.to_list (Array.map string_of_int r.executed_counts)))
+    r.view_changes
+    (match r.violations with
+    | [] -> ""
+    | v -> "\n  " ^ String.concat "\n  " v)

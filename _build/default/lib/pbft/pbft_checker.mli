@@ -1,0 +1,20 @@
+(** Safety and liveness checkers for simulated PBFT runs. *)
+
+type report = {
+  agreement_ok : bool;
+      (** Executed command sequences of non-Byzantine nodes are
+          prefix-compatible. Byzantine nodes are excluded: their local
+          state is meaningless. *)
+  live : bool;  (** Every expected command executed at every correct node. *)
+  executed_counts : int array;
+  view_changes : int;  (** Number of view-change announcements in the trace. *)
+  violations : string list;
+}
+
+val check :
+  Pbft_cluster.t -> expected:int list -> correct:int list -> honest:int list -> report
+(** [correct] — nodes that neither crashed nor turned Byzantine (must
+    be live); [honest] — nodes that are not Byzantine (crashed nodes
+    included; their executed prefixes must still agree). *)
+
+val pp_report : Format.formatter -> report -> unit

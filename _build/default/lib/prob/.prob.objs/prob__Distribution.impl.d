@@ -1,0 +1,1 @@
+lib/prob/distribution.ml: Array Float Math_utils Rng

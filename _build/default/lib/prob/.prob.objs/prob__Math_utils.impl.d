@@ -1,0 +1,1 @@
+lib/prob/math_utils.ml: Array Float

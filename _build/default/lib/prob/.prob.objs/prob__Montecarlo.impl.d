@@ -1,0 +1,1 @@
+lib/prob/montecarlo.ml: Format Math_utils

@@ -1,0 +1,1 @@
+lib/prob/montecarlo.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/prob/nines.ml: Float Format Math_utils Printf String

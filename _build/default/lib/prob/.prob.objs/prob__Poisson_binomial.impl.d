@@ -1,0 +1,1 @@
+lib/prob/poisson_binomial.ml: Array Math_utils

@@ -1,0 +1,1 @@
+lib/prob/rng.ml: Array Float Int64

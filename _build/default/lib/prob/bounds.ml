@@ -1,0 +1,35 @@
+let kl_bernoulli a p =
+  if a < 0. || a > 1. || p <= 0. || p >= 1. then
+    invalid_arg "Bounds.kl_bernoulli: arguments out of range";
+  let term x y = if x = 0. then 0. else x *. log (x /. y) in
+  term a p +. term (1. -. a) (1. -. p)
+
+let hoeffding_tail_ge ~n ~p ~k =
+  let a = float_of_int k /. float_of_int n in
+  if a <= p then 1.
+  else exp (-2. *. float_of_int n *. ((a -. p) ** 2.))
+
+let chernoff_kl_tail_ge ~n ~p ~k =
+  let a = float_of_int k /. float_of_int n in
+  if a <= p then 1. else exp (-.float_of_int n *. kl_bernoulli a p)
+
+type comparison = {
+  exact : float;
+  chernoff : float;
+  hoeffding : float;
+  chernoff_ratio : float;
+  hoeffding_ratio : float;
+}
+
+let compare_tail ~n ~p ~k =
+  let exact = Distribution.binomial_tail_ge ~n ~p k in
+  let chernoff = chernoff_kl_tail_ge ~n ~p ~k in
+  let hoeffding = hoeffding_tail_ge ~n ~p ~k in
+  let ratio bound = if exact = 0. then infinity else bound /. exact in
+  {
+    exact;
+    chernoff;
+    hoeffding;
+    chernoff_ratio = ratio chernoff;
+    hoeffding_ratio = ratio hoeffding;
+  }

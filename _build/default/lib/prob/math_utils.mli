@@ -1,0 +1,33 @@
+(** Numeric helpers shared by the probabilistic analysis engines.
+
+    All probabilities in this toolkit are ordinary [float]s; the helpers
+    here exist to keep long summations accurate (Kahan compensation) and
+    to evaluate combinatorial quantities without overflow (log space). *)
+
+val kahan_sum : float array -> float
+(** Compensated summation; accurate for long sums of small terms. *)
+
+val kahan_sum_list : float list -> float
+
+val log_factorial : int -> float
+(** [log_factorial n] is [log (n!)]. Exact table below 256, Stirling with
+    correction terms above. Raises [Invalid_argument] for negative [n]. *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] is [log (n choose k)]; [neg_infinity] when [k < 0]
+    or [k > n]. *)
+
+val choose : int -> int -> float
+(** [choose n k] = binomial coefficient as a float; [0.] outside range. *)
+
+val log1mexp : float -> float
+(** [log1mexp x] computes [log (1 - exp x)] accurately for [x < 0]. *)
+
+val logsumexp : float array -> float
+(** Numerically stable [log (sum_i (exp a_i))]. *)
+
+val clamp_prob : float -> float
+(** Clamp to [0, 1], mapping NaN to 0. *)
+
+val approx_equal : ?tol:float -> float -> float -> bool
+(** Relative-or-absolute comparison with default tolerance 1e-9. *)

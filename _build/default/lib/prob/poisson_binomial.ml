@@ -1,0 +1,37 @@
+let pmf probs =
+  let n = Array.length probs in
+  let dist = Array.make (n + 1) 0. in
+  dist.(0) <- 1.;
+  for i = 0 to n - 1 do
+    let p = Math_utils.clamp_prob probs.(i) in
+    (* Convolve with (1-p, p); walk downward so each trial is used once. *)
+    for k = i + 1 downto 1 do
+      dist.(k) <- (dist.(k) *. (1. -. p)) +. (dist.(k - 1) *. p)
+    done;
+    dist.(0) <- dist.(0) *. (1. -. p)
+  done;
+  dist
+
+let cdf_le probs k =
+  let dist = pmf probs in
+  let n = Array.length probs in
+  if k < 0 then 0.
+  else if k >= n then 1.
+  else begin
+    let acc = ref 0. in
+    for i = 0 to k do
+      acc := !acc +. dist.(i)
+    done;
+    Math_utils.clamp_prob !acc
+  end
+
+let tail_ge probs k =
+  if k <= 0 then 1. else Math_utils.clamp_prob (1. -. cdf_le probs (k - 1))
+
+let expectation probs = Math_utils.kahan_sum probs
+
+let sum_over probs pred =
+  let dist = pmf probs in
+  let acc = ref 0. in
+  Array.iteri (fun k p -> if pred k then acc := !acc +. p) dist;
+  Math_utils.clamp_prob !acc

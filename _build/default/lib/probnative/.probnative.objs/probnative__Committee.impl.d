@@ -1,0 +1,1 @@
+lib/probnative/committee.ml: Array Faultmodel Hashtbl List Option Prob Probcons

@@ -1,0 +1,1 @@
+lib/probnative/committee.mli: Faultmodel Prob Probcons

@@ -1,0 +1,1 @@
+lib/probnative/dynamic_quorum.ml: Faultmodel Int List Probcons

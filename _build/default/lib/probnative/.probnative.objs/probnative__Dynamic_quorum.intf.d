@@ -1,0 +1,1 @@
+lib/probnative/dynamic_quorum.mli: Faultmodel Probcons

@@ -1,0 +1,1 @@
+lib/probnative/failure_detector.ml: Float Queue

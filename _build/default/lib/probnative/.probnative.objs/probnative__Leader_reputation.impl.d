@@ -1,0 +1,1 @@
+lib/probnative/leader_reputation.ml: Array Faultmodel Float List Prob

@@ -1,0 +1,1 @@
+lib/probnative/planner.ml: Array Committee Dessim Dynamic_quorum Faultmodel Format Fun Leader_reputation List Prob Probcons Raft_sim String

@@ -1,0 +1,1 @@
+lib/probnative/planner.mli: Faultmodel Format Probcons

@@ -1,0 +1,1 @@
+lib/probnative/preemptive_reconfig.ml: Array Faultmodel List Printf Prob

@@ -1,0 +1,1 @@
+lib/probnative/reconfig_executor.ml: Array Dessim Faultmodel Float Fun List Prob Raft_sim

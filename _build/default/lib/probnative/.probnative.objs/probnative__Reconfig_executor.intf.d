@@ -1,0 +1,1 @@
+lib/probnative/reconfig_executor.mli: Faultmodel

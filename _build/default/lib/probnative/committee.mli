@@ -1,0 +1,47 @@
+(** Committee sampling (paper §4, third direction).
+
+    When a fleet's reliability exceeds the application's requirement,
+    consensus does not need every node: select a committee just large
+    (or just reliable) enough to meet the target nines, and run the
+    protocol there — fewer messages, same guarantee. *)
+
+type committee = {
+  members : int list;  (** Node ids, most reliable first. *)
+  params : Probcons.Raft_model.params;
+  p_safe_live : float;
+}
+
+val reliability_ranked :
+  ?at:float -> target:float -> Faultmodel.Fleet.t -> committee option
+(** Smallest odd committee of the {e most reliable} nodes whose
+    majority-Raft reliability reaches [target]. *)
+
+val random_committee :
+  ?at:float -> Prob.Rng.t -> size:int -> Faultmodel.Fleet.t -> committee
+(** Algorand-style uniformly random committee of the given size (the
+    fair/unpredictable option); reports the reliability it achieves. *)
+
+val vrf_committee :
+  ?at:float -> seed:int -> epoch:int -> size:int -> Faultmodel.Fleet.t -> committee
+(** Deterministic per-epoch committee, as a verifiable random function
+    would provide (Algorand): every replica derives the same committee
+    from the public (seed, epoch) pair with no communication, and the
+    committee rotates every epoch. *)
+
+val random_committee_size :
+  ?at:float -> ?trials:int -> Prob.Rng.t -> target:float -> Faultmodel.Fleet.t -> int option
+(** Smallest odd size at which the {e expected} reliability of a random
+    committee (averaged over sampled committees) reaches the target. *)
+
+val diversified_ranked :
+  ?at:float ->
+  target:float ->
+  domains:int list list ->
+  max_per_domain:int ->
+  Faultmodel.Fleet.t ->
+  committee option
+(** Like {!reliability_ranked}, but no more than [max_per_domain]
+    members may share a fault domain (TEE platform, rack, rollout
+    ring) — the correlated-failure mitigation of the paper's §2(3):
+    cap every common shock below the committee's fault tolerance.
+    Nodes in no listed domain are unconstrained. *)

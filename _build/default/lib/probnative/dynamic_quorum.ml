@@ -1,0 +1,74 @@
+type raft_choice = {
+  params : Probcons.Raft_model.params;
+  p_live : float;
+  p_safe_live : float;
+}
+
+let raft_sizings ?at fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  let choices = ref [] in
+  (* Structural safety needs 2*q_vc > n and q_per + q_vc > n; for a
+     fixed q_vc the smallest safe q_per is n - q_vc + 1. *)
+  for q_vc = (n / 2) + 1 to n do
+    let q_per = n - q_vc + 1 in
+    let params = Probcons.Raft_model.flexible ~n ~q_per ~q_vc in
+    let result = Probcons.Analysis.run ?at (Probcons.Raft_model.protocol params) fleet in
+    choices :=
+      {
+        params;
+        p_live = result.Probcons.Analysis.p_live;
+        p_safe_live = result.Probcons.Analysis.p_safe_live;
+      }
+      :: !choices
+  done;
+  (* Smallest q_per first = largest q_vc first reversed below. *)
+  List.sort
+    (fun a b -> Int.compare a.params.Probcons.Raft_model.q_per b.params.Probcons.Raft_model.q_per)
+    !choices
+
+let best_raft ?at ~target_live fleet =
+  List.find_opt (fun c -> c.p_live >= target_live) (raft_sizings ?at fleet)
+
+type pbft_choice = {
+  pbft : Probcons.Pbft_model.params;
+  p_safe : float;
+  p_live : float;
+}
+
+let best_pbft ?at ~target_safe ~target_live fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  let best = ref None in
+  let quorum_mass p = p.Probcons.Pbft_model.q_eq + p.Probcons.Pbft_model.q_per
+                      + p.Probcons.Pbft_model.q_vc in
+  for q_eq = 1 to n do
+    for q_per = 1 to n do
+      for q_vc = 1 to n do
+        for q_vc_t = 1 to q_vc do
+          let params = Probcons.Pbft_model.make ~n ~q_eq ~q_per ~q_vc ~q_vc_t in
+          (* Skip sizings that are unsafe even with zero Byzantine
+             nodes; the analysis would only confirm p_safe = 0. *)
+          if Probcons.Pbft_model.safe_given_byz params 0 then begin
+            let result =
+              Probcons.Analysis.run ?at (Probcons.Pbft_model.protocol params) fleet
+            in
+            let p_safe = result.Probcons.Analysis.p_safe
+            and p_live = result.Probcons.Analysis.p_live in
+            if p_safe >= target_safe && p_live >= target_live then begin
+              let better =
+                match !best with
+                | None -> true
+                | Some existing ->
+                    let score c = c.p_safe *. c.p_live in
+                    let candidate = p_safe *. p_live in
+                    candidate > score existing
+                    || (candidate = score existing
+                       && quorum_mass params < quorum_mass existing.pbft)
+              in
+              if better then best := Some { pbft = params; p_safe; p_live }
+            end
+          end
+        done
+      done
+    done
+  done;
+  !best

@@ -1,0 +1,41 @@
+(** Dynamic quorum sizing from fault curves (paper §4).
+
+    Instead of hard-coding majorities, pick quorum sizes so the
+    deployment meets an explicit probabilistic target. For Raft the
+    structural safety constraints ([n < q_per + q_vc], [n < 2 q_vc])
+    leave a one-dimensional family: growing the view-change quorum lets
+    the persistence quorum shrink (Flexible Paxos), trading leader-
+    election availability for cheaper commits. *)
+
+type raft_choice = {
+  params : Probcons.Raft_model.params;
+  p_live : float;
+  p_safe_live : float;
+}
+
+val raft_sizings : ?at:float -> Faultmodel.Fleet.t -> raft_choice list
+(** All structurally safe (q_per, q_vc) pairs with minimal total size
+    ([q_per = n - q_vc + 1]), most write-friendly (smallest [q_per])
+    first, each with its liveness probability for this fleet. *)
+
+val best_raft :
+  ?at:float -> target_live:float -> Faultmodel.Fleet.t -> raft_choice option
+(** The smallest-[q_per] structurally safe sizing whose liveness still
+    meets the target — cheap commits, probabilistic guarantee intact. *)
+
+type pbft_choice = {
+  pbft : Probcons.Pbft_model.params;
+  p_safe : float;
+  p_live : float;
+}
+
+val best_pbft :
+  ?at:float ->
+  target_safe:float ->
+  target_live:float ->
+  Faultmodel.Fleet.t ->
+  pbft_choice option
+(** Exhaustive search over PBFT quorum 4-tuples; returns the choice
+    meeting both targets that maximizes the safety-liveness product,
+    preferring smaller quorums on ties. [None] if no sizing meets the
+    targets. *)

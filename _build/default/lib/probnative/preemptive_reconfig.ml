@@ -1,0 +1,83 @@
+type swap = {
+  time : float;
+  replaced : int;
+  predicted_window_risk : float;
+  cluster_live_before : float;
+  cluster_live_after : float;
+}
+
+type outcome = {
+  swaps : swap list;
+  final_fleet : Faultmodel.Fleet.t;
+  reviews : int;
+}
+
+let window_risks fleet ~start ~duration =
+  Array.map
+    (fun node ->
+      Faultmodel.Fault_curve.window_probability node.Faultmodel.Node.curve ~start
+        ~duration)
+    (Faultmodel.Fleet.nodes fleet)
+
+let window_liveness fleet ~quorum ~start ~duration =
+  let risks = window_risks fleet ~start ~duration in
+  let n = Array.length risks in
+  Prob.Poisson_binomial.cdf_le risks (n - quorum)
+
+let riskiest risks =
+  let best = ref 0 in
+  Array.iteri (fun u r -> if r > risks.(!best) then best := u) risks;
+  !best
+
+let replace_node fleet ~id ~curve ~time =
+  let nodes = Array.copy (Faultmodel.Fleet.nodes fleet) in
+  nodes.(id) <-
+    Faultmodel.Node.make ~id
+      ~label:(Printf.sprintf "replacement-%d@%.0fh" id time)
+      (Faultmodel.Fault_curve.Shifted { offset = time; curve });
+  Faultmodel.Fleet.of_nodes (Array.to_list nodes)
+
+let simulate_policy ~fleet ~replacement_curve ~target_live ~horizon ~review_interval =
+  if review_interval <= 0. then
+    invalid_arg "Preemptive_reconfig: review interval must be positive";
+  let n = Faultmodel.Fleet.size fleet in
+  let quorum = (n / 2) + 1 in
+  let current = ref fleet in
+  let swaps = ref [] in
+  let reviews = ref 0 in
+  let time = ref 0. in
+  while !time < horizon do
+    incr reviews;
+    (* Swap as long as the coming window misses the target and a swap
+       still helps (each node can be replaced at most once per review). *)
+    let budget = ref n in
+    let continue_swapping = ref true in
+    while !continue_swapping && !budget > 0 do
+      let live = window_liveness !current ~quorum ~start:!time ~duration:review_interval in
+      if live >= target_live then continue_swapping := false
+      else begin
+        let risks = window_risks !current ~start:!time ~duration:review_interval in
+        let victim = riskiest risks in
+        let updated = replace_node !current ~id:victim ~curve:replacement_curve ~time:!time in
+        let live_after =
+          window_liveness updated ~quorum ~start:!time ~duration:review_interval
+        in
+        if live_after > live then begin
+          swaps :=
+            {
+              time = !time;
+              replaced = victim;
+              predicted_window_risk = risks.(victim);
+              cluster_live_before = live;
+              cluster_live_after = live_after;
+            }
+            :: !swaps;
+          current := updated;
+          decr budget
+        end
+        else continue_swapping := false
+      end
+    done;
+    time := !time +. review_interval
+  done;
+  { swaps = List.rev !swaps; final_fleet = !current; reviews = !reviews }

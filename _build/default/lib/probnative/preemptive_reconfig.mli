@@ -1,0 +1,40 @@
+(** Preemptive reconfiguration from predictive fault curves (paper §4).
+
+    With time-dependent fault curves, the probability that the cluster
+    stays live over the next maintenance window is computable in
+    advance. This policy reviews the fleet periodically and swaps out
+    the node with the highest predicted window-failure probability
+    whenever the window guarantee would otherwise dip below target —
+    reconfiguring {e before} the failure instead of after. *)
+
+type swap = {
+  time : float;  (** Review time (hours) at which the swap happens. *)
+  replaced : int;  (** Node id swapped out. *)
+  predicted_window_risk : float;  (** Its window failure probability. *)
+  cluster_live_before : float;  (** Window liveness without the swap. *)
+  cluster_live_after : float;
+}
+
+type outcome = {
+  swaps : swap list;
+  final_fleet : Faultmodel.Fleet.t;
+  reviews : int;
+}
+
+val simulate_policy :
+  fleet:Faultmodel.Fleet.t ->
+  replacement_curve:Faultmodel.Fault_curve.t ->
+  target_live:float ->
+  horizon:float ->
+  review_interval:float ->
+  outcome
+(** Walk the mission in review steps. At each review, compute the
+    probability that a majority quorum survives the coming window
+    (Poisson-binomial over per-node window risks); while it is below
+    [target_live], replace the riskiest node with a fresh node on
+    [replacement_curve] (its age restarts at the swap time). *)
+
+val window_liveness :
+  Faultmodel.Fleet.t -> quorum:int -> start:float -> duration:float -> float
+(** P(at least [quorum] nodes survive the window), from each node's
+    conditional window failure probability. *)

@@ -1,0 +1,51 @@
+(** Preemptive reconfiguration, executed.
+
+    {!Preemptive_reconfig} computes {e what} a predictive policy would
+    do; this module actually does it: it drives a dynamic-membership
+    Raft cluster on the simulator, reviews the members' predicted
+    window risks on a schedule, and swaps the riskiest member for a
+    fresh spare {e before} it fails — one single-server change at a
+    time, leader never removed, removed servers retired.
+
+    Time convention: one simulated millisecond is treated as one hour
+    of mission time when evaluating fault curves, so protocol dynamics
+    (elections in hundreds of ms) and reliability dynamics (wear-out
+    over thousands of hours) coexist in one run. Node lifetimes are
+    sampled from the same curves and injected as crashes, which is what
+    makes the managed/unmanaged comparison meaningful. *)
+
+type outcome = {
+  swaps_completed : int;
+      (** Add+remove pairs that both committed. *)
+  reviews : int;
+  managed_live : bool;
+      (** The managed cluster committed the entire workload at all
+          final members that never crashed. *)
+  final_members : int list option;
+  commands_committed : int;
+      (** Commands committed at the final leader (0 if leaderless). *)
+}
+
+val run :
+  ?seed:int ->
+  universe:Faultmodel.Fleet.t ->
+  initial_members:int list ->
+  target_live:float ->
+  review_interval:float ->
+  horizon:float ->
+  commands:int ->
+  unit ->
+  outcome
+(** Universe nodes not in [initial_members] form the spare pool. Every
+    universe node's crash time is sampled from its fault curve;
+    reviews run every [review_interval] until [horizon]. *)
+
+val run_unmanaged :
+  ?seed:int ->
+  universe:Faultmodel.Fleet.t ->
+  initial_members:int list ->
+  horizon:float ->
+  commands:int ->
+  unit ->
+  outcome
+(** The control arm: same lifetimes, same workload, no reconfiguration. *)

@@ -1,0 +1,1 @@
+lib/quorum/metrics.ml: Array Format Prob Quorum_system

@@ -1,0 +1,1 @@
+lib/quorum/metrics.mli: Format Quorum_system

@@ -1,0 +1,1 @@
+lib/quorum/probabilistic.ml: Float Prob

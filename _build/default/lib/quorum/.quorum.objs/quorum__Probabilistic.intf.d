@@ -1,0 +1,1 @@
+lib/quorum/probabilistic.mli:

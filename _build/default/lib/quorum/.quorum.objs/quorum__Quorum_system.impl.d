@@ -1,0 +1,1 @@
+lib/quorum/quorum_system.ml: Array Format List Prob Subset

@@ -1,0 +1,1 @@
+lib/quorum/quorum_system.mli: Format Subset

@@ -1,0 +1,1 @@
+lib/quorum/subset.ml: Format List String

@@ -1,0 +1,1 @@
+lib/quorum/subset.mli: Format

@@ -1,0 +1,30 @@
+let intersection_independent ~n ~k1 ~k2 =
+  Probabilistic.intersection_probability ~n ~k1 ~k2
+
+let intersection_given_live ~n ~p ~k1 ~k2 =
+  if k1 > n || k2 > n then invalid_arg "Formation.intersection_given_live";
+  let need = max k1 k2 in
+  (* Condition on the live-set size m >= need; within a live set of
+     size m the two draws are uniform over it. *)
+  let weight_sum = ref 0. and hit_sum = ref 0. in
+  for m = need to n do
+    let w = Prob.Distribution.binomial_pmf ~n ~p:(1. -. p) m in
+    if w > 0. then begin
+      weight_sum := !weight_sum +. w;
+      hit_sum := !hit_sum +. (w *. Probabilistic.intersection_probability ~n:m ~k1 ~k2)
+    end
+  done;
+  if !weight_sum = 0. then 1. else Prob.Math_utils.clamp_prob (!hit_sum /. !weight_sum)
+
+let dependence_gain ~n ~p ~k1 ~k2 =
+  let miss_indep = 1. -. intersection_independent ~n ~k1 ~k2 in
+  let miss_dep = 1. -. intersection_given_live ~n ~p ~k1 ~k2 in
+  if miss_dep = 0. then infinity else miss_indep /. miss_dep
+
+let loss_given_failures ~n ~k ~j =
+  if k > n || j > n then invalid_arg "Formation.loss_given_failures";
+  if j < k then 0.
+  else
+    exp (Prob.Math_utils.log_choose (n - k) (j - k) -. Prob.Math_utils.log_choose n j)
+
+let expected_loss ~n:_ ~k ~p = p ** float_of_int k

@@ -1,0 +1,40 @@
+(** Dependent quorum formation.
+
+    The paper's §4 warns that sizing quorums probabilistically is "non
+    trivial as quorums are not formed independently, but instead must
+    intersect... traditional tools like Chernoff bounds no longer
+    apply". This module computes the relevant probabilities exactly for
+    the canonical dependence: quorums are drawn from the {e same} set
+    of currently live nodes, not independently from the whole
+    universe.
+
+    It also provides the exact pieces of the paper's E7 computation:
+    the probability that a batch of failures covers the one quorum
+    that matters. *)
+
+val intersection_independent : n:int -> k1:int -> k2:int -> float
+(** Baseline: two uniform quorums drawn independently from the whole
+    universe (re-export of {!Probabilistic.intersection_probability}). *)
+
+val intersection_given_live : n:int -> p:float -> k1:int -> k2:int -> float
+(** Two quorums drawn uniformly from the same live set, where each of
+    the [n] nodes is down independently with probability [p]:
+    conditioning on the live set couples the draws. Computed exactly by
+    summing over the live-set size (conditional probability given that
+    both quorums can form, i.e. at least [max k1 k2] nodes are live). *)
+
+val dependence_gain : n:int -> p:float -> k1:int -> k2:int -> float
+(** [P_dependent_miss / P_independent_miss]: how much more often the
+    independent model thinks quorums miss each other. > 1 means naive
+    independence is pessimistic about intersection. *)
+
+val loss_given_failures : n:int -> k:int -> j:int -> float
+(** P(a batch of exactly [j] uniformly-placed failures covers one
+    specific [k]-node quorum): hypergeometric
+    [C(n-k, j-k) / C(n, j)]; [0.] for [j < k]. *)
+
+val expected_loss : n:int -> k:int -> p:float -> float
+(** Unconditional probability that all [k] holders of a committed
+    entry fail when every node fails independently with probability
+    [p]. Equals [p^k]; provided for cross-checking the summed form
+    [sum_j P(j failures) * loss_given_failures]. *)

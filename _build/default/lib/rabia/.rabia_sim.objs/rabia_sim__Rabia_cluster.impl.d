@@ -1,0 +1,1 @@
+lib/rabia/rabia_cluster.ml: Array Dessim List Rabia_node Rabia_types

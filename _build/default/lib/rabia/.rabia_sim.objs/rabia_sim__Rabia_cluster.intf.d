@@ -1,0 +1,1 @@
+lib/rabia/rabia_cluster.mli: Dessim Rabia_node

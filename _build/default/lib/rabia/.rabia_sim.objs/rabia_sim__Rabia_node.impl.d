@@ -1,0 +1,1 @@
+lib/rabia/rabia_node.ml: Array Dessim Hashtbl Option Printf Queue Rabia_types

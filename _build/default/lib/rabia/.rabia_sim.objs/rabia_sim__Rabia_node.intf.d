@@ -1,0 +1,1 @@
+lib/rabia/rabia_node.mli: Dessim Rabia_types

@@ -1,0 +1,1 @@
+lib/rabia/rabia_types.ml: Format

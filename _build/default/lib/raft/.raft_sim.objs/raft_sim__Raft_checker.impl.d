@@ -1,0 +1,1 @@
+lib/raft/raft_checker.ml: Array Dessim Format Hashtbl List Printf Raft_cluster Raft_node Raft_types Scanf String

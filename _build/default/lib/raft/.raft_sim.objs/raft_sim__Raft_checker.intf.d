@@ -1,0 +1,1 @@
+lib/raft/raft_checker.mli: Format Raft_cluster

@@ -1,0 +1,1 @@
+lib/raft/raft_cluster.ml: Array Dessim List Option Raft_node Raft_types

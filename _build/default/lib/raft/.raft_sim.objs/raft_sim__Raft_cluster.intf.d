@@ -1,0 +1,1 @@
+lib/raft/raft_cluster.mli: Dessim Raft_node

@@ -1,0 +1,1 @@
+lib/raft/raft_node.ml: Array Dessim Fun List Option Printf Prob Raft_types String

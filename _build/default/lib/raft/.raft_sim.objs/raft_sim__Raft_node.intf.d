@@ -1,0 +1,1 @@
+lib/raft/raft_node.mli: Dessim Raft_types

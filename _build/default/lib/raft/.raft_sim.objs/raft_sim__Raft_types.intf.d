@@ -1,0 +1,1 @@
+lib/raft/raft_types.mli: Format

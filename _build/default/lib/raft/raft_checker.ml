@@ -1,0 +1,133 @@
+type report = {
+  agreement_ok : bool;
+  election_safety_ok : bool;
+  log_matching_ok : bool;
+  live : bool;
+  applied_counts : int array;
+  violations : string list;
+}
+
+let prefix_compatible a b =
+  let rec go = function
+    | [], _ | _, [] -> true
+    | x :: xs, y :: ys -> x = y && go (xs, ys)
+  in
+  go (a, b)
+
+(* Log Matching: if two logs contain an entry with the same index and
+   term, they are identical through that index. It suffices to find the
+   highest common index with equal terms and require equality of the
+   whole prefix up to it. *)
+let logs_match (a : Raft_types.entry array) (b : Raft_types.entry array) =
+  let common = min (Array.length a) (Array.length b) in
+  let anchor = ref (-1) in
+  for i = common - 1 downto 0 do
+    if !anchor < 0 && a.(i).Raft_types.term = b.(i).Raft_types.term then anchor := i
+  done;
+  let ok = ref true in
+  for i = 0 to !anchor do
+    if a.(i) <> b.(i) then ok := false
+  done;
+  !ok
+
+let check cluster ~expected ~correct =
+  let n = Raft_cluster.size cluster in
+  let applied = Array.init n (fun i -> Raft_cluster.committed cluster i) in
+  let violations = ref [] in
+  let agreement_ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (prefix_compatible applied.(i) applied.(j)) then begin
+        agreement_ok := false;
+        violations :=
+          Printf.sprintf "nodes %d and %d applied divergent sequences" i j
+          :: !violations
+      end
+    done
+  done;
+  (* Election safety: unique leader per term. *)
+  let election_safety_ok = ref true in
+  let leaders_by_term = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Dessim.Trace.entry) ->
+      if e.tag = "become-leader" then begin
+        match Hashtbl.find_opt leaders_by_term e.detail with
+        | Some other when other <> e.node ->
+            election_safety_ok := false;
+            violations :=
+              Printf.sprintf "two leaders (%d and %d) in %s" other e.node e.detail
+              :: !violations
+        | Some _ -> ()
+        | None -> Hashtbl.add leaders_by_term e.detail e.node
+      end)
+    (Dessim.Trace.entries (Raft_cluster.trace cluster));
+  (* Log matching across raw logs. *)
+  let log_matching_ok = ref true in
+  let logs =
+    Array.init n (fun i ->
+        Array.of_list (Raft_node.log_entries (Raft_cluster.node cluster i)))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (logs_match logs.(i) logs.(j)) then begin
+        log_matching_ok := false;
+        violations :=
+          Printf.sprintf "log matching violated between nodes %d and %d" i j
+          :: !violations
+      end
+    done
+  done;
+  (* Liveness: every expected command applied at every correct node. *)
+  let live = ref true in
+  List.iter
+    (fun node_id ->
+      let got = applied.(node_id) in
+      List.iter
+        (fun cmd ->
+          if not (List.mem cmd got) then begin
+            live := false;
+            violations :=
+              Printf.sprintf "correct node %d never applied command %d" node_id cmd
+              :: !violations
+          end)
+        expected)
+    correct;
+  {
+    agreement_ok = !agreement_ok;
+    election_safety_ok = !election_safety_ok;
+    log_matching_ok = !log_matching_ok;
+    live = !live;
+    applied_counts = Array.map List.length applied;
+    violations = List.rev !violations;
+  }
+
+let safe r = r.agreement_ok && r.election_safety_ok && r.log_matching_ok
+
+let command_latencies cluster ~submissions ~horizon =
+  let first_apply = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Dessim.Trace.entry) ->
+      if e.tag = "apply" then begin
+        try
+          Scanf.sscanf e.detail "index=%d cmd=%d term=%d" (fun _ cmd _ ->
+              match Hashtbl.find_opt first_apply cmd with
+              | Some t when t <= e.time -> ()
+              | Some _ | None -> Hashtbl.replace first_apply cmd e.time)
+        with Scanf.Scan_failure _ | End_of_file -> ()
+      end)
+    (Dessim.Trace.entries (Raft_cluster.trace cluster));
+  List.map
+    (fun (cmd, submitted) ->
+      match Hashtbl.find_opt first_apply cmd with
+      | Some t -> t -. submitted
+      | None -> horizon -. submitted)
+    submissions
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "agreement=%b election-safety=%b log-matching=%b live=%b applied=[%s]%s"
+    r.agreement_ok r.election_safety_ok r.log_matching_ok r.live
+    (String.concat ";" (Array.to_list (Array.map string_of_int r.applied_counts)))
+    (match r.violations with
+    | [] -> ""
+    | v -> "\n  " ^ String.concat "\n  " v)

@@ -1,0 +1,39 @@
+(** Safety and liveness checkers for simulated Raft runs.
+
+    These check the paper's §3 definitions on executed traces: a run is
+    {e safe} when non-failed nodes agree on committed data, and {e
+    live} when every submitted operation is eventually committed at
+    every non-failed node. *)
+
+type report = {
+  agreement_ok : bool;
+      (** Every pair of nodes' applied sequences are prefix-compatible
+          (state-machine safety). Checked across {e all} nodes — a
+          crashed node's already-applied prefix must still agree. *)
+  election_safety_ok : bool;
+      (** At most one leader per term, from the trace. *)
+  log_matching_ok : bool;
+      (** Raft's Log Matching property on the raw logs: if two logs
+          hold an entry with the same index and term, the logs are
+          identical through that index. *)
+  live : bool;
+      (** Every expected command applied at every correct node. *)
+  applied_counts : int array;
+  violations : string list;
+}
+
+val check : Raft_cluster.t -> expected:int list -> correct:int list -> report
+(** [expected] are the client commands that must have been committed;
+    [correct] the node ids that never failed during the run. *)
+
+val safe : report -> bool
+(** [agreement_ok && election_safety_ok && log_matching_ok]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val command_latencies :
+  Raft_cluster.t -> submissions:(int * float) list -> horizon:float -> float list
+(** Client-perceived latency per command: from its submission time to
+    the earliest apply at any node (from the trace); commands never
+    applied count as [horizon - submission] (a client timeout). Used by
+    the tail-latency experiments. *)

@@ -1,0 +1,469 @@
+open Raft_types
+
+type config = {
+  id : int;
+  n : int;
+  q_vote : int;
+  q_replicate : int;
+  election_timeout_min : float;
+  election_timeout_max : float;
+  heartbeat_interval : float;
+  timeout_multiplier : float;
+  initial_members : int list option;
+}
+
+let default_config ~id ~n =
+  {
+    id;
+    n;
+    q_vote = (n / 2) + 1;
+    q_replicate = (n / 2) + 1;
+    election_timeout_min = 150.;
+    election_timeout_max = 300.;
+    heartbeat_interval = 50.;
+    timeout_multiplier = 1.;
+    initial_members = None;
+  }
+
+type role = Follower | Candidate | Leader
+
+type t = {
+  config : config;
+  engine : Dessim.Engine.t;
+  net : msg Dessim.Network.t;
+  trace : Dessim.Trace.t;
+  rng : Prob.Rng.t;
+  mutable role : role;
+  mutable term : int;
+  mutable voted_for : int option;
+  log : entry Dessim.Vec.t;
+  mutable commit_index : int;
+  applied : int Dessim.Vec.t;
+  mutable applied_through : int;
+      (** Log index up to which entries have been applied (data entries
+          feed [applied]; config entries only affect membership). *)
+  mutable votes : int list;
+  next_index : int array;
+  match_index : int array;
+  mutable members : int list;
+  mutable election_timer : Dessim.Engine.cancel option;
+  mutable heartbeat_timer : Dessim.Engine.cancel option;
+  mutable down : bool;
+}
+
+let id t = t.config.id
+let current_term t = t.term
+let is_leader t = t.role = Leader && not t.down
+let alive t = not t.down
+let committed_commands t = Dessim.Vec.to_list t.applied
+let log_entries t = Dessim.Vec.to_list t.log
+let commit_index t = t.commit_index
+let members t = t.members
+
+let dynamic t = t.config.initial_members <> None
+
+let is_member t = List.mem t.config.id t.members
+
+let last_log_index t = Dessim.Vec.length t.log
+
+let entry_term t index =
+  if index = 0 then 0 else (Dessim.Vec.get t.log (index - 1)).term
+
+let last_log_term t = entry_term t (last_log_index t)
+
+(* Quorum sizes: configured in static mode, membership majorities in
+   dynamic mode. *)
+let quorum_vote t =
+  if dynamic t then (List.length t.members / 2) + 1 else t.config.q_vote
+
+let quorum_replicate t =
+  if dynamic t then (List.length t.members / 2) + 1 else t.config.q_replicate
+
+let record t tag detail =
+  Dessim.Trace.record t.trace ~time:(Dessim.Engine.now t.engine) ~node:t.config.id
+    ~tag ~detail
+
+let cancel_election_timer t =
+  (match t.election_timer with Some c -> Dessim.Engine.cancel c | None -> ());
+  t.election_timer <- None
+
+let cancel_heartbeat_timer t =
+  (match t.heartbeat_timer with Some c -> Dessim.Engine.cancel c | None -> ());
+  t.heartbeat_timer <- None
+
+(* Membership is defined by the last Config entry in the log (appended,
+   not necessarily committed), falling back to the initial set. *)
+let recompute_members t =
+  if dynamic t then begin
+    let fallback = Option.value t.config.initial_members ~default:[] in
+    let rec scan i =
+      if i < 1 then fallback
+      else begin
+        match (Dessim.Vec.get t.log (i - 1)).command with
+        | Config members -> members
+        | Data _ -> scan (i - 1)
+      end
+    in
+    let fresh = List.sort_uniq compare (scan (last_log_index t)) in
+    if fresh <> t.members then begin
+      t.members <- fresh;
+      record t "membership"
+        (String.concat "," (List.map string_of_int fresh))
+    end
+  end
+
+(* Apply entries the commit index has passed. *)
+let apply_committed t =
+  while t.applied_through < t.commit_index do
+    let index = t.applied_through + 1 in
+    let entry = Dessim.Vec.get t.log (index - 1) in
+    (match entry.command with
+    | Data command ->
+        Dessim.Vec.push t.applied command;
+        record t "apply" (Printf.sprintf "index=%d cmd=%d term=%d" index command entry.term)
+    | Config _ ->
+        record t "apply-config" (Printf.sprintf "index=%d term=%d" index entry.term));
+    t.applied_through <- index
+  done
+
+let rec reset_election_timer t =
+  cancel_election_timer t;
+  if is_member t then begin
+    let base =
+      t.config.election_timeout_min
+      +. (Prob.Rng.float t.rng
+         *. (t.config.election_timeout_max -. t.config.election_timeout_min))
+    in
+    let timeout = base *. t.config.timeout_multiplier in
+    t.election_timer <-
+      Some (Dessim.Engine.schedule t.engine ~delay:timeout (fun () -> on_election_timeout t))
+  end
+
+and on_election_timeout t =
+  if (not t.down) && t.role <> Leader && is_member t then start_election t
+  else if not t.down then reset_election_timer t
+
+and start_election t =
+  t.term <- t.term + 1;
+  t.role <- Candidate;
+  t.voted_for <- Some t.config.id;
+  t.votes <- [ t.config.id ];
+  record t "candidate" (Printf.sprintf "term=%d" t.term);
+  Dessim.Network.broadcast t.net ~src:t.config.id
+    (Request_vote
+       {
+         term = t.term;
+         candidate_id = t.config.id;
+         last_log_index = last_log_index t;
+         last_log_term = last_log_term t;
+       });
+  reset_election_timer t;
+  maybe_win_election t
+
+and maybe_win_election t =
+  (* Only members' votes count toward the quorum. *)
+  let counted =
+    if dynamic t then List.filter (fun v -> List.mem v t.members) t.votes else t.votes
+  in
+  if t.role = Candidate && List.length counted >= quorum_vote t then become_leader t
+
+and become_leader t =
+  t.role <- Leader;
+  record t "become-leader" (Printf.sprintf "term=%d" t.term);
+  cancel_election_timer t;
+  Array.fill t.next_index 0 t.config.n (last_log_index t + 1);
+  Array.fill t.match_index 0 t.config.n 0;
+  t.match_index.(t.config.id) <- last_log_index t;
+  maybe_advance_commit t;
+  send_heartbeats t;
+  schedule_heartbeat t
+
+and schedule_heartbeat t =
+  cancel_heartbeat_timer t;
+  t.heartbeat_timer <-
+    Some
+      (Dessim.Engine.schedule t.engine ~delay:t.config.heartbeat_interval (fun () ->
+           if is_leader t then begin
+             send_heartbeats t;
+             schedule_heartbeat t
+           end))
+
+and send_heartbeats t =
+  List.iter
+    (fun peer -> if peer <> t.config.id then send_append_entries t peer)
+    t.members
+
+and send_append_entries t peer =
+  let next = t.next_index.(peer) in
+  let prev_log_index = next - 1 in
+  let entries = ref [] in
+  for i = last_log_index t downto next do
+    entries := Dessim.Vec.get t.log (i - 1) :: !entries
+  done;
+  Dessim.Network.send t.net ~src:t.config.id ~dst:peer
+    (Append_entries
+       {
+         term = t.term;
+         leader_id = t.config.id;
+         prev_log_index;
+         prev_log_term = entry_term t prev_log_index;
+         entries = !entries;
+         leader_commit = t.commit_index;
+       })
+
+and maybe_advance_commit t =
+  (* Largest index replicated on a replication quorum of members whose
+     entry is from the current term (Raft's commitment rule, Fig. 8). *)
+  let advanced = ref false in
+  for index = t.commit_index + 1 to last_log_index t do
+    if entry_term t index = t.term then begin
+      let replicas = ref 0 in
+      List.iter (fun m -> if t.match_index.(m) >= index then incr replicas) t.members;
+      if !replicas >= quorum_replicate t then begin
+        t.commit_index <- index;
+        advanced := true
+      end
+    end
+  done;
+  if !advanced then begin
+    record t "commit" (Printf.sprintf "index=%d term=%d" t.commit_index t.term);
+    apply_committed t
+  end
+
+let step_down t new_term =
+  if new_term > t.term then begin
+    t.term <- new_term;
+    t.voted_for <- None
+  end;
+  if t.role <> Follower then record t "step-down" (Printf.sprintf "term=%d" t.term);
+  t.role <- Follower;
+  cancel_heartbeat_timer t;
+  reset_election_timer t
+
+let candidate_log_up_to_date t ~last_log_index:cand_index ~last_log_term:cand_term =
+  cand_term > last_log_term t
+  || (cand_term = last_log_term t && cand_index >= last_log_index t)
+
+let handle_request_vote t ~term ~candidate_id ~last_log_index:cli ~last_log_term:clt =
+  if term > t.term then step_down t term;
+  let granted =
+    term = t.term
+    && (t.voted_for = None || t.voted_for = Some candidate_id)
+    && candidate_log_up_to_date t ~last_log_index:cli ~last_log_term:clt
+  in
+  if granted then begin
+    t.voted_for <- Some candidate_id;
+    reset_election_timer t
+  end;
+  Dessim.Network.send t.net ~src:t.config.id ~dst:candidate_id
+    (Request_vote_reply { term = t.term; voter_id = t.config.id; granted })
+
+let handle_request_vote_reply t ~term ~voter_id ~granted =
+  if term > t.term then step_down t term
+  else if granted && t.role = Candidate && term = t.term then begin
+    if not (List.mem voter_id t.votes) then t.votes <- voter_id :: t.votes;
+    maybe_win_election t
+  end
+
+let truncate_from t index =
+  (* Drop entries at [index] and beyond (1-based). *)
+  Dessim.Vec.truncate t.log (index - 1);
+  recompute_members t
+
+let handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~entries
+    ~leader_commit =
+  if term < t.term then
+    Dessim.Network.send t.net ~src:t.config.id ~dst:leader_id
+      (Append_entries_reply
+         { term = t.term; follower_id = t.config.id; success = false; match_index = 0 })
+  else begin
+    if term > t.term || t.role <> Follower then step_down t term
+    else reset_election_timer t;
+    let consistent =
+      prev_log_index <= last_log_index t && entry_term t prev_log_index = prev_log_term
+    in
+    if not consistent then
+      Dessim.Network.send t.net ~src:t.config.id ~dst:leader_id
+        (Append_entries_reply
+           { term = t.term; follower_id = t.config.id; success = false; match_index = 0 })
+    else begin
+      (* Append, resolving conflicts in favour of the leader. *)
+      let membership_touched = ref false in
+      List.iter
+        (fun (entry : entry) ->
+          let is_config = match entry.command with Config _ -> true | Data _ -> false in
+          if entry.index <= last_log_index t then begin
+            if entry_term t entry.index <> entry.term then begin
+              truncate_from t entry.index;
+              Dessim.Vec.push t.log entry;
+              if is_config then membership_touched := true
+            end
+          end
+          else begin
+            Dessim.Vec.push t.log entry;
+            if is_config then membership_touched := true
+          end)
+        entries;
+      if !membership_touched then begin
+        recompute_members t;
+        (* Becoming a member arms the election timer; leaving disarms. *)
+        reset_election_timer t
+      end;
+      let match_index = prev_log_index + List.length entries in
+      if leader_commit > t.commit_index then begin
+        t.commit_index <- min leader_commit (last_log_index t);
+        apply_committed t
+      end;
+      Dessim.Network.send t.net ~src:t.config.id ~dst:leader_id
+        (Append_entries_reply
+           { term = t.term; follower_id = t.config.id; success = true; match_index })
+    end
+  end
+
+let handle_append_entries_reply t ~term ~follower_id ~success ~match_index =
+  if term > t.term then step_down t term
+  else if t.role = Leader && term = t.term then begin
+    if success then begin
+      t.match_index.(follower_id) <- max t.match_index.(follower_id) match_index;
+      t.next_index.(follower_id) <- t.match_index.(follower_id) + 1;
+      maybe_advance_commit t
+    end
+    else begin
+      t.next_index.(follower_id) <- max 1 (t.next_index.(follower_id) - 1);
+      send_append_entries t follower_id
+    end
+  end
+
+let handle_timeout_now t ~term =
+  (* Campaign immediately, skipping the randomized wait. *)
+  if term >= t.term && t.role <> Leader && is_member t then start_election t
+
+let handle_message t ~src:_ msg =
+  if not t.down then begin
+    match msg with
+    | Request_vote { term; candidate_id; last_log_index; last_log_term } ->
+        handle_request_vote t ~term ~candidate_id ~last_log_index ~last_log_term
+    | Request_vote_reply { term; voter_id; granted } ->
+        handle_request_vote_reply t ~term ~voter_id ~granted
+    | Append_entries { term; leader_id; prev_log_index; prev_log_term; entries; leader_commit }
+      ->
+        handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~entries
+          ~leader_commit
+    | Append_entries_reply { term; follower_id; success; match_index } ->
+        handle_append_entries_reply t ~term ~follower_id ~success ~match_index
+    | Timeout_now { term } -> handle_timeout_now t ~term
+  end
+
+let append_as_leader t command =
+  let entry = { term = t.term; index = last_log_index t + 1; command } in
+  Dessim.Vec.push t.log entry;
+  t.match_index.(t.config.id) <- entry.index;
+  maybe_advance_commit t;
+  send_heartbeats t;
+  entry
+
+let submit t command =
+  if not (is_leader t) then false
+  else begin
+    let entry = append_as_leader t (Data command) in
+    record t "propose" (Printf.sprintf "index=%d cmd=%d" entry.index command);
+    true
+  end
+
+let transfer_leadership t target =
+  if
+    is_leader t && target <> t.config.id
+    && List.mem target t.members
+    && t.match_index.(target) = last_log_index t
+  then begin
+    record t "transfer-leadership" (Printf.sprintf "to=%d" target);
+    Dessim.Network.send t.net ~src:t.config.id ~dst:target (Timeout_now { term = t.term });
+    true
+  end
+  else false
+
+let valid_config_change t proposal =
+  let proposal = List.sort_uniq compare proposal in
+  let current = t.members in
+  let added = List.filter (fun u -> not (List.mem u current)) proposal in
+  let removed = List.filter (fun u -> not (List.mem u proposal)) current in
+  proposal <> []
+  && List.mem t.config.id proposal
+  && List.for_all (fun u -> u >= 0 && u < t.config.n) proposal
+  && List.length added + List.length removed <= 1
+
+let submit_config t proposal =
+  if not (is_leader t && dynamic t) then false
+  else if not (valid_config_change t proposal) then false
+  else begin
+    let proposal = List.sort_uniq compare proposal in
+    let entry = append_as_leader t (Config proposal) in
+    record t "propose-config"
+      (Printf.sprintf "index=%d {%s}" entry.index
+         (String.concat "," (List.map string_of_int proposal)));
+    recompute_members t;
+    (* Start replicating to a newly added member right away. *)
+    send_heartbeats t;
+    maybe_advance_commit t;
+    true
+  end
+
+let set_down t down =
+  if down && not t.down then begin
+    t.down <- true;
+    Dessim.Network.set_down t.net t.config.id true;
+    cancel_election_timer t;
+    cancel_heartbeat_timer t;
+    record t "crash" ""
+  end
+  else if (not down) && t.down then begin
+    t.down <- false;
+    Dessim.Network.set_down t.net t.config.id false;
+    t.role <- Follower;
+    t.votes <- [];
+    record t "restart" "";
+    reset_election_timer t
+  end
+
+let create config ~engine ~net ~trace =
+  if config.n <= 0 then invalid_arg "Raft_node.create: n must be positive";
+  if config.q_vote < 1 || config.q_vote > config.n then
+    invalid_arg "Raft_node.create: q_vote out of range";
+  if config.q_replicate < 1 || config.q_replicate > config.n then
+    invalid_arg "Raft_node.create: q_replicate out of range";
+  (match config.initial_members with
+  | Some members ->
+      if List.exists (fun u -> u < 0 || u >= config.n) members then
+        invalid_arg "Raft_node.create: initial member outside the universe"
+  | None -> ());
+  let members =
+    match config.initial_members with
+    | Some members -> List.sort_uniq compare members
+    | None -> List.init config.n Fun.id
+  in
+  let t =
+    {
+      config;
+      engine;
+      net;
+      trace;
+      rng = Prob.Rng.split (Dessim.Engine.rng engine);
+      role = Follower;
+      term = 0;
+      voted_for = None;
+      log = Dessim.Vec.create ();
+      commit_index = 0;
+      applied = Dessim.Vec.create ();
+      applied_through = 0;
+      votes = [];
+      next_index = Array.make config.n 1;
+      match_index = Array.make config.n 0;
+      members;
+      election_timer = None;
+      heartbeat_timer = None;
+      down = false;
+    }
+  in
+  Dessim.Network.set_handler net config.id (fun ~src msg -> handle_message t ~src msg);
+  reset_election_timer t;
+  t

@@ -1,0 +1,89 @@
+(** A single Raft replica running on the discrete-event simulator.
+
+    Full Raft: randomized leader election, log replication, commitment,
+    follower log repair — with {e flexible} quorum sizes: the vote
+    quorum [q_vote] and replication quorum [q_replicate] are
+    parameters, so the simulator can execute exactly the
+    [params] Theorem 3.2 reasons about (including deliberately unsafe
+    sizings, whose violations the checkers then observe).
+
+    Two membership modes:
+    - {b static} (default): the member set is the whole universe
+      [0..n-1] and quorum sizes come from the config — this is the mode
+      the reliability experiments use;
+    - {b dynamic} ([initial_members] given): membership travels through
+      the log as [Config] entries (single-server changes, taking effect
+      on append), quorums are majorities of the {e current} member set,
+      and spare universe nodes idle until a configuration adopts them.
+      This is the substrate for executing preemptive reconfiguration.
+
+    Time units are milliseconds of virtual time. *)
+
+type config = {
+  id : int;
+  n : int;  (** Universe size (network endpoints). *)
+  q_vote : int;  (** Votes needed to become leader (|Q_vc|); static mode. *)
+  q_replicate : int;  (** Replicas (incl. leader) needed to commit (|Q_per|); static mode. *)
+  election_timeout_min : float;
+  election_timeout_max : float;
+  heartbeat_interval : float;
+  timeout_multiplier : float;
+      (** Scales this node's election timeout; reliability-aware leader
+          selection gives reliable nodes small multipliers so they win
+          races (see {!Probnative.Leader_reputation}). *)
+  initial_members : int list option;
+      (** [None]: static mode. [Some members]: dynamic-membership mode
+          with this starting configuration. *)
+}
+
+val default_config : id:int -> n:int -> config
+(** Majority quorums, timeouts 150-300ms, heartbeat 50ms, static
+    membership. *)
+
+type t
+
+val create :
+  config -> engine:Dessim.Engine.t -> net:Raft_types.msg Dessim.Network.t ->
+  trace:Dessim.Trace.t -> t
+(** Registers the node's network handler and starts its election
+    timer (members only, in dynamic mode). *)
+
+val id : t -> int
+val current_term : t -> int
+val is_leader : t -> bool
+val alive : t -> bool
+
+val members : t -> int list
+(** Current member set (sorted). In static mode, the whole universe. *)
+
+val is_member : t -> bool
+
+val submit : t -> int -> bool
+(** Offer a client command; accepted (and replicated) only if this node
+    currently believes it is the leader. *)
+
+val transfer_leadership : t -> int -> bool
+(** Raft leadership transfer: ask a caught-up member to campaign
+    immediately. Returns [false] unless this node is the leader, the
+    target is a member other than itself, and the target's log matches
+    the leader's. The leader keeps serving until it sees the higher
+    term. *)
+
+val submit_config : t -> int list -> bool
+(** Propose a new member set (dynamic mode, leader only). Returns
+    [false] if this node is not the leader, the mode is static, the
+    proposal removes the leader itself, changes more than one server at
+    a time, or leaves the cluster empty. *)
+
+val committed_commands : t -> int list
+(** Data commands applied to the state machine, in order (configuration
+    entries are applied to membership, not to the state machine). *)
+
+val log_entries : t -> Raft_types.entry list
+
+val commit_index : t -> int
+
+val set_down : t -> bool -> unit
+(** Crash or restart the node. Crashing cancels timers; restarting
+    re-enters follower state keeping persistent state (term, vote,
+    log), as a real Raft with stable storage would. *)

@@ -1,0 +1,1 @@
+lib/sim/fault_injector.ml: Array Engine List Prob

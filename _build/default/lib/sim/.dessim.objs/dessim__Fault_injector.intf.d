@@ -1,0 +1,1 @@
+lib/sim/fault_injector.mli: Engine Prob

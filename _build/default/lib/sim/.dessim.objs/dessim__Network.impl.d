@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Engine List Prob

@@ -1,0 +1,1 @@
+lib/sim/vec.ml: Array List

@@ -1,0 +1,38 @@
+type fault =
+  | Crash_at of float
+  | Crash_restart of { at : float; back_at : float }
+  | Byzantine_from of float
+
+type plan = (int * fault) list
+
+let apply ~engine ~set_down ~set_byzantine plan =
+  List.iter
+    (fun (node, fault) ->
+      match fault with
+      | Crash_at at ->
+          ignore (Engine.schedule_at engine ~time:at (fun () -> set_down node true))
+      | Crash_restart { at; back_at } ->
+          if back_at < at then invalid_arg "Fault_injector: restart before crash";
+          ignore (Engine.schedule_at engine ~time:at (fun () -> set_down node true));
+          ignore
+            (Engine.schedule_at engine ~time:back_at (fun () -> set_down node false))
+      | Byzantine_from at ->
+          ignore
+            (Engine.schedule_at engine ~time:at (fun () -> set_byzantine node true)))
+    plan
+
+let of_failed_nodes ?(byzantine = false) ?(at = 0.) nodes =
+  List.map
+    (fun node -> (node, if byzantine then Byzantine_from at else Crash_at at))
+    nodes
+
+let sample_plan ?(byz_at = 0.) ?(crash_at = 0.) rng ~crash_probs ~byz_probs =
+  let plan = ref [] in
+  Array.iteri
+    (fun u pc ->
+      let pb = byz_probs.(u) in
+      let roll = Prob.Rng.float rng in
+      if roll < pb then plan := (u, Byzantine_from byz_at) :: !plan
+      else if roll < pb +. pc then plan := (u, Crash_at crash_at) :: !plan)
+    crash_probs;
+  List.rev !plan

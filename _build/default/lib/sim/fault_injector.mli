@@ -1,0 +1,40 @@
+(** Fault injection schedules.
+
+    Translates a failure configuration — which nodes fail, how, and
+    when — into engine events. The Monte-Carlo validation (E8) samples
+    configurations from a fleet's fault curves and injects them here. *)
+
+type fault =
+  | Crash_at of float  (** Node stops processing and receiving. *)
+  | Crash_restart of { at : float; back_at : float }
+  | Byzantine_from of float
+      (** Node keeps running but its protocol implementation is told to
+          misbehave from this time on (equivocation etc. — interpreted
+          by the protocol). *)
+
+type plan = (int * fault) list
+
+val apply :
+  engine:Engine.t ->
+  set_down:(int -> bool -> unit) ->
+  set_byzantine:(int -> bool -> unit) ->
+  plan ->
+  unit
+(** Schedule every fault in the plan. [set_down] should both mark the
+    network endpoint down and stop the node's timers; [set_byzantine]
+    flips the protocol's misbehaviour flag. *)
+
+val of_failed_nodes : ?byzantine:bool -> ?at:float -> int list -> plan
+(** The simplest plan: the listed nodes fail at time [at] (default 0),
+    as crashes or Byzantine conversions. *)
+
+val sample_plan :
+  ?byz_at:float ->
+  ?crash_at:float ->
+  Prob.Rng.t ->
+  crash_probs:float array ->
+  byz_probs:float array ->
+  plan
+(** Draw a configuration from per-node probabilities: each node
+    independently becomes Byzantine (probability [byz_probs.(u)]),
+    crashes ([crash_probs.(u)]), or stays correct. *)

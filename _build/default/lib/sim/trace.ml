@@ -1,0 +1,19 @@
+type entry = { time : float; node : int; tag : string; detail : string }
+
+type t = { mutable rev_entries : entry list; mutable length : int }
+
+let create () = { rev_entries = []; length = 0 }
+
+let record t ~time ~node ~tag ~detail =
+  t.rev_entries <- { time; node; tag; detail } :: t.rev_entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.rev_entries
+
+let filter t ~tag = List.filter (fun e -> e.tag = tag) (entries t)
+
+let count t ~tag =
+  List.fold_left (fun acc e -> if e.tag = tag then acc + 1 else acc) 0 t.rev_entries
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%8.2f] node %d %s %s" e.time e.node e.tag e.detail

@@ -1,0 +1,1 @@
+test/test_benor.ml: Alcotest Array Benor_cluster Benor_node Benor_sim Dessim Faultmodel Fun List Printf Prob Probcons QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Costmodel Faultmodel List Machine Optimizer Option Prob Probcons

@@ -1,0 +1,1 @@
+test/test_faultmodel.ml: Alcotest Array Correlation Fault_curve Faultmodel Fleet Float List Node Printf Prob Probcons Telemetry

@@ -1,0 +1,1 @@
+test/test_markov.ml: Alcotest Array Ctmc Float Linalg List Markov Printf Prob QCheck QCheck_alcotest Repair_model

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Dessim Fun List Pbft_checker Pbft_cluster Pbft_node Pbft_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prob.ml: Alcotest Array Bounds Distribution Float Fun List Math_utils Montecarlo Nines Poisson_binomial Printf Prob QCheck QCheck_alcotest Rng

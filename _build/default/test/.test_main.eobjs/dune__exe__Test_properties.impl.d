@@ -1,0 +1,1 @@
+test/test_properties.ml: Analysis Array Durability Equivalence Faultmodel Float List Pbft_model Prob Probcons Protocol QCheck QCheck_alcotest Quorum Raft_model Stake_model String Upright_model

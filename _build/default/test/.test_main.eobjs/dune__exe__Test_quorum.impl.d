@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest Array Float Formation Fun Hashtbl List Metrics Printf Prob Probabilistic QCheck QCheck_alcotest Quorum Quorum_system Subset

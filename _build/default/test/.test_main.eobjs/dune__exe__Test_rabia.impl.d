@@ -1,0 +1,1 @@
+test/test_rabia.ml: Alcotest Array Dessim Fun List Prob QCheck QCheck_alcotest Rabia_cluster Rabia_node Rabia_sim

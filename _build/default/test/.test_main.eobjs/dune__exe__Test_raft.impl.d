@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Array Dessim Fun List Printf Prob QCheck QCheck_alcotest Raft_checker Raft_cluster Raft_node Raft_sim

@@ -1,0 +1,1 @@
+test/test_raft_reconfig.ml: Alcotest Dessim Fun List Raft_checker Raft_cluster Raft_node Raft_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dessim Engine Event_queue Fault_injector Float List Network Prob Trace Vec

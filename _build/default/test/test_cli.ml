@@ -1,0 +1,74 @@
+(* CLI smoke tests: run the probcons binary end-to-end and check the
+   shapes of its output. The binary is declared as a dune dependency,
+   so these run against the freshly built executable. *)
+
+let binary = "../bin/main.exe"
+
+let run_capture args =
+  let command = Printf.sprintf "%s %s > cli_output.txt 2>&1" binary args in
+  let status = Sys.command command in
+  let ic = open_in "cli_output.txt" in
+  let size = in_channel_length ic in
+  let contents = really_input_string ic size in
+  close_in ic;
+  (status, contents)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let check_contains args needles =
+  let status, output = run_capture args in
+  Alcotest.(check int) (args ^ " exits 0") 0 status;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in output of %s" needle args)
+        true (contains output needle))
+    needles
+
+let test_tables () =
+  check_contains "tables" [ "Table 1"; "Table 2"; "99.94%"; "99.97%"; "98.18%" ]
+
+let test_analyze () =
+  check_contains "analyze --protocol raft -n 3 -p 0.01" [ "safe"; "99.97%" ];
+  check_contains "analyze --protocol pbft -n 7 -p 0.02" [ "pbft(n=7"; "count-dp" ];
+  check_contains "analyze --protocol raft --mix 4x0.08,3x0.01" [ "raft(n=7" ]
+
+let test_markov () =
+  check_contains "markov -n 5 --afr 0.08" [ "MTTF"; "MTTDL"; "availability" ]
+
+let test_simulate () =
+  check_contains "simulate --protocol raft -n 5 --crash 0,1"
+    [ "agreement=true"; "live=true" ]
+
+let test_sweep_csv () =
+  let status, output = run_capture "sweep --kind raft --csv" in
+  Alcotest.(check int) "exits 0" 0 status;
+  (* CSV shape: header + 5 rows, comma-separated. *)
+  let lines = String.split_on_char '\n' (String.trim output) in
+  Alcotest.(check int) "six lines" 6 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "has commas" true (String.contains line ','))
+    lines
+
+let test_plan () =
+  check_contains "plan --target-nines 3 --mix 3x0.01,4x0.08"
+    [ "committee"; "execution: safe=true" ]
+
+let test_bad_command_fails () =
+  let status, _ = run_capture "no-such-command" in
+  Alcotest.(check bool) "nonzero exit" true (status <> 0)
+
+let suite =
+  [
+    Alcotest.test_case "tables" `Quick test_tables;
+    Alcotest.test_case "analyze" `Quick test_analyze;
+    Alcotest.test_case "markov" `Quick test_markov;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "sweep csv" `Quick test_sweep_csv;
+    Alcotest.test_case "plan" `Quick test_plan;
+    Alcotest.test_case "bad command fails" `Quick test_bad_command_fails;
+  ]

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "probcons"
+    [
+      ("prob", Test_prob.suite);
+      ("faultmodel", Test_faultmodel.suite);
+      ("quorum", Test_quorum.suite);
+      ("core", Test_core.suite);
+      ("markov", Test_markov.suite);
+      ("cost", Test_cost.suite);
+      ("sim", Test_sim.suite);
+      ("raft", Test_raft.suite);
+      ("raft-reconfig", Test_raft_reconfig.suite);
+      ("pbft", Test_pbft.suite);
+      ("probnative", Test_probnative.suite);
+      ("benor", Test_benor.suite);
+      ("properties", Test_properties.suite);
+      ("rabia", Test_rabia.suite);
+      ("cli", Test_cli.suite);
+    ]

@@ -1,0 +1,122 @@
+(* Tests for the Rabia-style leaderless SMR: proposal exchange +
+   null-biased binary agreement per slot. *)
+
+open Rabia_sim
+
+let all n = List.init n Fun.id
+
+let run ?(n = 5) ?(seed = 7) ?(crash = []) ?(drop = 0.) ?(until = 60_000.)
+    ?(commands = 10) () =
+  let cluster = Rabia_cluster.create ~n ~seed ~drop_probability:drop () in
+  let cmds = List.init commands (fun i -> 100 + i) in
+  Rabia_cluster.inject cluster (Dessim.Fault_injector.of_failed_nodes ~at:50. crash);
+  Rabia_cluster.submit_workload cluster ~commands:cmds ~start:100. ~interval:80.;
+  Rabia_cluster.run cluster ~until;
+  let correct = List.filter (fun i -> not (List.mem i crash)) (all n) in
+  (cluster, Rabia_cluster.check cluster ~expected:cmds ~correct)
+
+let test_healthy_cluster () =
+  let cluster, report = run () in
+  Alcotest.(check bool) "agreement" true report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "live" true report.Rabia_cluster.live;
+  (* Identical committed sequences everywhere. *)
+  let reference = Rabia_cluster.node cluster 0 |> Rabia_node.committed in
+  for i = 1 to 4 do
+    Alcotest.(check (list int)) "same order" reference
+      (Rabia_node.committed (Rabia_cluster.node cluster i))
+  done;
+  (* No command committed twice. *)
+  Alcotest.(check int) "no duplicates" (List.length reference)
+    (List.length (List.sort_uniq compare reference))
+
+let test_tolerates_minority_crashes () =
+  let _, report = run ~crash:[ 0; 1 ] ~seed:8 () in
+  Alcotest.(check bool) "agreement" true report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "live" true report.Rabia_cluster.live
+
+let test_majority_crash_stalls_safely () =
+  let _, report = run ~crash:[ 0; 1; 2 ] ~seed:9 ~until:20_000. () in
+  Alcotest.(check bool) "agreement" true report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "not live" false report.Rabia_cluster.live
+
+let test_resilient_to_message_loss () =
+  let _, report = run ~drop:0.05 ~seed:10 ~until:120_000. () in
+  Alcotest.(check bool) "agreement" true report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "live under 5% loss" true report.Rabia_cluster.live
+
+let test_determinism () =
+  let committed seed =
+    let cluster, _ = run ~seed () in
+    List.init 5 (fun i -> Rabia_node.committed (Rabia_cluster.node cluster i))
+  in
+  Alcotest.(check bool) "same seed same run" true (committed 21 = committed 21)
+
+let test_submit_dedup () =
+  let cluster = Rabia_cluster.create ~n:3 ~seed:11 () in
+  ignore
+    (Dessim.Engine.schedule_at (Rabia_cluster.engine cluster) ~time:10. (fun () ->
+         Array.iter
+           (fun i ->
+             let node = Rabia_cluster.node cluster i in
+             Rabia_node.submit node 42;
+             Rabia_node.submit node 42)
+           [| 0; 1; 2 |]));
+  Rabia_cluster.run cluster ~until:20_000.;
+  Alcotest.(check (list int)) "committed once" [ 42 ]
+    (Rabia_node.committed (Rabia_cluster.node cluster 0))
+
+let test_majority_submission_commits () =
+  (* A command enqueued at a strict majority (3 of 5) can win its slot
+     even though two replicas propose null. *)
+  let cluster = Rabia_cluster.create ~n:5 ~seed:12 () in
+  ignore
+    (Dessim.Engine.schedule_at (Rabia_cluster.engine cluster) ~time:10. (fun () ->
+         List.iter
+           (fun i -> Rabia_node.submit (Rabia_cluster.node cluster i) 7)
+           [ 0; 1; 2 ]));
+  Rabia_cluster.run cluster ~until:30_000.;
+  let report = Rabia_cluster.check cluster ~expected:[ 7 ] ~correct:(all 5) in
+  Alcotest.(check bool) "agreement" true report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "committed everywhere" true report.Rabia_cluster.live
+
+let test_byzantine_rejected () =
+  let cluster = Rabia_cluster.create ~n:3 ~seed:13 () in
+  Rabia_cluster.inject cluster [ (0, Dessim.Fault_injector.Byzantine_from 0.) ];
+  Alcotest.check_raises "crash-only"
+    (Invalid_argument "Rabia (this variant) is crash-fault tolerant only") (fun () ->
+      Rabia_cluster.run cluster ~until:10.)
+
+let test_mid_run_crash () =
+  let cluster = Rabia_cluster.create ~n:5 ~seed:14 () in
+  let cmds = List.init 10 (fun i -> 100 + i) in
+  Rabia_cluster.inject cluster [ (0, Dessim.Fault_injector.Crash_at 400.) ];
+  Rabia_cluster.submit_workload cluster ~commands:cmds ~start:100. ~interval:80.;
+  Rabia_cluster.run cluster ~until:60_000.;
+  let report = Rabia_cluster.check cluster ~expected:cmds ~correct:[ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "agreement incl. crashed prefix" true
+    report.Rabia_cluster.agreement_ok;
+  Alcotest.(check bool) "survivors live" true report.Rabia_cluster.live
+
+let prop_agreement_under_random_crashes =
+  QCheck.Test.make ~count:8 ~name:"random crashes: agreement always, live iff minority"
+    QCheck.(pair (int_range 0 2) (int_range 0 1000))
+    (fun (k, seed) ->
+      let rng = Prob.Rng.create seed in
+      let crash = Prob.Rng.sample_without_replacement rng k 5 in
+      let _, report = run ~crash ~seed ~commands:5 () in
+      report.Rabia_cluster.agreement_ok && report.Rabia_cluster.live)
+
+let suite =
+  [
+    Alcotest.test_case "healthy cluster" `Quick test_healthy_cluster;
+    Alcotest.test_case "minority crashes" `Quick test_tolerates_minority_crashes;
+    Alcotest.test_case "majority crash stalls safely" `Quick
+      test_majority_crash_stalls_safely;
+    Alcotest.test_case "message loss" `Slow test_resilient_to_message_loss;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "submit dedup" `Quick test_submit_dedup;
+    Alcotest.test_case "majority submission commits" `Quick test_majority_submission_commits;
+    Alcotest.test_case "byzantine rejected" `Quick test_byzantine_rejected;
+    Alcotest.test_case "mid-run crash" `Quick test_mid_run_crash;
+    QCheck_alcotest.to_alcotest prop_agreement_under_random_crashes;
+  ]
