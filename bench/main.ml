@@ -11,6 +11,37 @@ let section title =
 
 let pct = Prob.Nines.percent_string
 
+(* ------------------------------------------------- JSON perf trail *)
+
+(* Rows for --json FILE: a machine-readable perf trajectory that future
+   changes can diff against. *)
+type json_row = {
+  kernel : string;
+  n : int;
+  engine : string;
+  domains : int;
+  ns_per_run : float;
+}
+
+let json_rows : json_row list ref = ref []
+
+let record_row ~kernel ~n ~engine ~domains ~ns_per_run =
+  json_rows := { kernel; n; engine; domains; ns_per_run } :: !json_rows
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i { kernel; n; engine; domains; ns_per_run } ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"kernel\": %S, \"n\": %d, \"engine\": %S, \"domains\": %d, \"ns_per_run\": %.0f}"
+        kernel n engine domains ns_per_run)
+    (List.rev !json_rows);
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
+
 (* ---------------------------------------------------------------- T1 *)
 
 let table1 () =
@@ -716,6 +747,81 @@ let e20_engine_ablation () =
     (Probcons.Report.render
        (Probcons.Sweep.timeline aging ~times:[ 1_000.; 8_766.; 26_298.; 43_830.; 52_596. ]))
 
+(* ---------------------------------------------------------------- P1 *)
+
+let p1_parallel_engine ~quick =
+  section "P1. Parallel analysis engine: domains sweep, bit-stable results";
+  (* Identity-dependent predicate (stake weights) over an all-Byzantine
+     fleet: the 2^N binary enumeration hot path. --quick drops N so the
+     smoke run stays fast. *)
+  let n = if quick then 18 else 24 in
+  let stakes = Array.init n (fun i -> 1. +. float_of_int (i mod 3)) in
+  let proto = Probcons.Stake_model.protocol (Probcons.Stake_model.make stakes) in
+  let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p:0.02 () in
+  let timed ?strategy domains =
+    let started = Unix.gettimeofday () in
+    let r = Probcons.Analysis.run ?strategy ~domains proto fleet in
+    (r, (Unix.gettimeofday () -. started) *. 1e9)
+  in
+  Printf.printf "  machine: %d core(s) recommended by the runtime; pool default %d lane(s)\n"
+    (Domain.recommended_domain_count ())
+    (Parallel.Pool.default ());
+  let enum = Some Probcons.Analysis.Enumeration in
+  let baseline, base_ns = timed ?strategy:enum 1 in
+  Printf.printf "  enumeration 2^%d, domains=1: %8.0f ms  [%s]\n" n (base_ns /. 1e6)
+    baseline.Probcons.Analysis.engine;
+  record_row ~kernel:"analysis/enumeration-2^N" ~n
+    ~engine:baseline.Probcons.Analysis.engine ~domains:1 ~ns_per_run:base_ns;
+  List.iter
+    (fun domains ->
+      let r, ns = timed ?strategy:enum domains in
+      let identical =
+        Float.equal r.Probcons.Analysis.p_safe baseline.Probcons.Analysis.p_safe
+        && Float.equal r.Probcons.Analysis.p_live baseline.Probcons.Analysis.p_live
+        && Float.equal r.Probcons.Analysis.p_safe_live
+             baseline.Probcons.Analysis.p_safe_live
+      in
+      Printf.printf
+        "  enumeration 2^%d, domains=%d: %8.0f ms  %5.2fx  bit-identical: %b  [%s]\n" n
+        domains (ns /. 1e6) (base_ns /. ns) identical r.Probcons.Analysis.engine;
+      record_row ~kernel:"analysis/enumeration-2^N" ~n
+        ~engine:r.Probcons.Analysis.engine ~domains ~ns_per_run:ns)
+    [ 2; 4; 8 ];
+  (* Monte Carlo: per-chunk streams from (seed, chunk) keep the estimate
+     seed-reproducible whatever the lane count. *)
+  let trials = if quick then 100_000 else 1_000_000 in
+  let mc = Some (Probcons.Analysis.Monte_carlo trials) in
+  let mc1, mc1_ns = timed ?strategy:mc 1 in
+  let mc8, mc8_ns = timed ?strategy:mc 8 in
+  Printf.printf
+    "  monte-carlo %d trials, domains=1: %6.0f ms; domains=8: %6.0f ms  %5.2fx  identical: %b\n"
+    trials (mc1_ns /. 1e6) (mc8_ns /. 1e6) (mc1_ns /. mc8_ns)
+    (Float.equal mc1.Probcons.Analysis.p_safe_live mc8.Probcons.Analysis.p_safe_live);
+  record_row ~kernel:"analysis/monte-carlo" ~n ~engine:mc1.Probcons.Analysis.engine
+    ~domains:1 ~ns_per_run:mc1_ns;
+  record_row ~kernel:"analysis/monte-carlo" ~n ~engine:mc8.Probcons.Analysis.engine
+    ~domains:8 ~ns_per_run:mc8_ns;
+  (* Sweep grids fan cells out over the same pool. *)
+  let sweep_timed domains =
+    let started = Unix.gettimeofday () in
+    ignore
+      (Probcons.Sweep.pbft_grid ~domains ~ns:[ 4; 5; 7; 8; 10 ]
+         ~ps:[ 0.005; 0.01; 0.02; 0.04; 0.08 ] ()
+        : Probcons.Report.t);
+    (Unix.gettimeofday () -. started) *. 1e9
+  in
+  let sweep1 = sweep_timed 1 and sweep8 = sweep_timed 8 in
+  Printf.printf "  pbft sweep 5x5 grid, domains=1: %6.1f ms; domains=8: %6.1f ms  %5.2fx\n"
+    (sweep1 /. 1e6) (sweep8 /. 1e6) (sweep1 /. sweep8);
+  record_row ~kernel:"sweep/pbft-grid-5x5" ~n:10 ~engine:"count-dp-cells" ~domains:1
+    ~ns_per_run:sweep1;
+  record_row ~kernel:"sweep/pbft-grid-5x5" ~n:10 ~engine:"count-dp-cells" ~domains:8
+    ~ns_per_run:sweep8;
+  print_endline
+    "  (chunk boundaries and reduction order are fixed by the instance, so every\n\
+    \   domain count produces bit-identical exact results; wall-clock gains track\n\
+    \   the machine's core count - a single-core host shows parity, not speedup)"
+
 (* ------------------------------------------------- Bechamel kernels *)
 
 let kernel_tests () =
@@ -797,8 +903,25 @@ let run_kernels () =
       | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
     (List.sort compare rows)
 
+let json_target () =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--json" then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  (* Fail fast on an unwritable --json target rather than after the
+     full run, which would lose every measurement. *)
+  (match json_target () with
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "error: cannot write --json target: %s\n" msg;
+        exit 1)
+  | None -> ());
   table1 ();
   table2 ();
   e3_equivalence ();
@@ -824,5 +947,7 @@ let () =
   if quick then print_endline "(E19 tail-latency comparison skipped: --quick)"
   else e19_tail_latency ();
   e20_engine_ablation ();
+  p1_parallel_engine ~quick;
   if quick then print_endline "(microbenchmarks skipped: --quick)" else run_kernels ();
+  (match json_target () with Some path -> write_json path | None -> ());
   print_newline ()

@@ -379,14 +379,14 @@ let sweep_cmd =
     let ns = [ 3; 5; 7; 9; 11 ] and ps = [ 0.005; 0.01; 0.02; 0.04; 0.08 ] in
     let table =
       match kind with
-      | `Raft -> Probcons.Sweep.raft_grid ~ns ~ps
-      | `Pbft -> Probcons.Sweep.pbft_grid ~ns:[ 4; 5; 7; 8; 10 ] ~ps
+      | `Raft -> Probcons.Sweep.raft_grid ~ns ~ps ()
+      | `Pbft -> Probcons.Sweep.pbft_grid ~ns:[ 4; 5; 7; 8; 10 ] ~ps ()
       | `Pbft_detail ->
-          Probcons.Sweep.pbft_safety_liveness_grid ~ns:[ 4; 5; 7; 8; 10 ] ~p:0.01
+          Probcons.Sweep.pbft_safety_liveness_grid ~ns:[ 4; 5; 7; 8; 10 ] ~p:0.01 ()
       | `Frontier ->
           Probcons.Sweep.min_cluster_frontier
             ~targets:(List.map Prob.Nines.to_prob [ 2.; 3.; 4.; 5. ])
-            ~ps
+            ~ps ()
     in
     print_string
       (if csv then Probcons.Report.to_csv table else Probcons.Report.render table)

@@ -15,6 +15,11 @@ type result = {
   ci_safe_live : (float * float) option;
 }
 
+(* "enumeration-binary/8d": the engine name records how many domains
+   produced the numbers (no suffix when sequential). *)
+let engine_tag ~workers base =
+  if workers > 1 then Printf.sprintf "%s/%dd" base workers else base
+
 let no_ci protocol ~engine ~p_safe ~p_live ~p_safe_live =
   {
     protocol;
@@ -35,84 +40,126 @@ let run_count_dp (protocol : Protocol.t) ~crash_probs ~byz_probs =
   in
   let dist = Config.joint_count_distribution ~crash_probs ~byz_probs in
   let n = Array.length crash_probs in
-  let p_safe = ref 0. and p_live = ref 0. and p_both = ref 0. and mass = ref 0. in
+  let open Prob.Math_utils in
+  let p_safe = ref kahan_zero
+  and p_live = ref kahan_zero
+  and p_both = ref kahan_zero
+  and mass = ref kahan_zero in
   for b = 0 to n do
     for c = 0 to n - b do
       let p = dist.(b).(c) in
       if p > 0. then begin
-        mass := !mass +. p;
+        mass := kahan_add !mass p;
         let safe = safe_count ~byz:b ~crashed:c in
         let live = live_count ~byz:b ~crashed:c in
-        if safe then p_safe := !p_safe +. p;
-        if live then p_live := !p_live +. p;
-        if safe && live then p_both := !p_both +. p
+        if safe then p_safe := kahan_add !p_safe p;
+        if live then p_live := kahan_add !p_live p;
+        if safe && live then p_both := kahan_add !p_both p
       end
     done
   done;
   (* The DP's total mass is 1 up to float rounding; normalizing removes
      the drift so structurally certain predicates report exactly 1. *)
-  let normalize p = if !mass > 0. then p /. !mass else p in
+  let mass = kahan_total !mass in
+  let normalize k =
+    let p = kahan_total k in
+    if mass > 0. then p /. mass else p
+  in
   no_ci protocol.name ~engine:"count-dp" ~p_safe:(normalize !p_safe)
     ~p_live:(normalize !p_live) ~p_safe_live:(normalize !p_both)
 
-let accumulate_config (protocol : Protocol.t) ~crash_probs ~byz_probs
-    (p_safe, p_live, p_both) config =
-  let p = Config.probability ~crash_probs ~byz_probs config in
-  if p > 0. then begin
-    let safe = protocol.safe.full config and live = protocol.live.full config in
-    ( (if safe then p_safe +. p else p_safe),
-      (if live then p_live +. p else p_live),
-      if safe && live then p_both +. p else p_both )
-  end
-  else (p_safe, p_live, p_both)
+(* Per-chunk Kahan-compensated partial sums over a configuration
+   iterator slice. Chunk boundaries and per-chunk float order are fixed
+   by Chunked, so the totals are bit-identical across domain counts. *)
+let eval_range (protocol : Protocol.t) ~crash_probs ~byz_probs iter_range ~lo ~hi =
+  let open Prob.Math_utils in
+  let s = ref kahan_zero and l = ref kahan_zero and b = ref kahan_zero in
+  iter_range ~lo ~hi (fun config ->
+      let p = Config.probability ~crash_probs ~byz_probs config in
+      if p > 0. then begin
+        let safe = protocol.safe.full config and live = protocol.live.full config in
+        if safe then s := kahan_add !s p;
+        if live then l := kahan_add !l p;
+        if safe && live then b := kahan_add !b p
+      end);
+  (kahan_total !s, kahan_total !l, kahan_total !b)
 
-let run_enumeration (protocol : Protocol.t) ~crash_probs ~byz_probs =
+let run_enumeration ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs =
   let n = Array.length crash_probs in
   let all_zero a = Array.for_all (fun p -> p = 0.) a in
-  let acc = ref (0., 0., 0.) in
-  let engine =
-    if all_zero byz_probs && n <= Quorum.Subset.max_enumeration then begin
-      Config.iter_binary ~n ~byzantine:false (fun config ->
-          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
-      "enumeration-binary"
-    end
-    else if all_zero crash_probs && n <= Quorum.Subset.max_enumeration then begin
-      Config.iter_binary ~n ~byzantine:true (fun config ->
-          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
-      "enumeration-binary"
-    end
-    else begin
-      Config.iter_ternary ~n (fun config ->
-          acc := accumulate_config protocol ~crash_probs ~byz_probs !acc config);
-      "enumeration-ternary"
-    end
+  let binary =
+    if all_zero byz_probs && n <= Quorum.Subset.max_enumeration then Some false
+    else if all_zero crash_probs && n <= Quorum.Subset.max_enumeration then
+      Some true
+    else None
   in
-  let p_safe, p_live, p_both = !acc in
-  no_ci protocol.name ~engine ~p_safe ~p_live ~p_safe_live:p_both
+  let total, base_engine, iter_range =
+    match binary with
+    | Some byzantine ->
+        ( Quorum.Subset.full n + 1,
+          "enumeration-binary",
+          fun ~lo ~hi f -> Config.iter_binary_range ~n ~byzantine ~lo ~hi f )
+    | None ->
+        ( Config.ternary_cardinality ~n,
+          "enumeration-ternary",
+          fun ~lo ~hi f -> Config.iter_ternary_range ~n ~lo ~hi f )
+  in
+  let workers =
+    Parallel.Pool.effective ?domains
+      ~tasks:(min Parallel.Chunked.default_chunks total) ()
+  in
+  let p_safe, p_live, p_both =
+    Parallel.Chunked.sum3 ?domains ~total (fun ~chunk:_ ~lo ~hi ->
+        eval_range protocol ~crash_probs ~byz_probs iter_range ~lo ~hi)
+  in
+  no_ci protocol.name
+    ~engine:(engine_tag ~workers base_engine)
+    ~p_safe ~p_live ~p_safe_live:p_both
 
-let run_monte_carlo (protocol : Protocol.t) ~crash_probs ~byz_probs ~trials ~seed =
-  let rng = Prob.Rng.create seed in
-  let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
-  for _ = 1 to trials do
-    let config = Config.sample ~crash_probs ~byz_probs rng in
-    let safe = protocol.safe.full config and live = protocol.live.full config in
-    if safe then incr safe_hits;
-    if live then incr live_hits;
-    if safe && live then incr both_hits
-  done;
+let mc_result (protocol : Protocol.t) ~engine ~trials (safe_hits, live_hits, both_hits)
+    =
   let proportion hits = float_of_int hits /. float_of_int trials in
   {
     protocol = protocol.name;
-    p_safe = proportion !safe_hits;
-    p_live = proportion !live_hits;
-    p_safe_live = proportion !both_hits;
-    engine = Printf.sprintf "monte-carlo(%d)" trials;
-    ci_safe = Some (Prob.Montecarlo.wilson_interval ~successes:!safe_hits ~trials);
-    ci_live = Some (Prob.Montecarlo.wilson_interval ~successes:!live_hits ~trials);
-    ci_safe_live = Some (Prob.Montecarlo.wilson_interval ~successes:!both_hits ~trials);
+    p_safe = proportion safe_hits;
+    p_live = proportion live_hits;
+    p_safe_live = proportion both_hits;
+    engine;
+    ci_safe = Some (Prob.Montecarlo.wilson_interval ~successes:safe_hits ~trials);
+    ci_live = Some (Prob.Montecarlo.wilson_interval ~successes:live_hits ~trials);
+    ci_safe_live = Some (Prob.Montecarlo.wilson_interval ~successes:both_hits ~trials);
   }
 
-let run ?at ?(strategy = Auto) ?(seed = 42) (protocol : Protocol.t) fleet =
+(* Monte-Carlo trials run in chunks, each on its own stream derived
+   from (seed, chunk index): the estimate depends only on the seed and
+   trial count, never on how many domains executed the chunks. *)
+let mc_chunked ?domains ~trials ~seed sample_outcome =
+  Parallel.Chunked.count3 ?domains ~total:trials (fun ~chunk ~lo ~hi ->
+      let rng = Prob.Rng.of_pair seed chunk in
+      let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
+      for _ = lo to hi - 1 do
+        let safe, live = sample_outcome rng in
+        if safe then incr safe_hits;
+        if live then incr live_hits;
+        if safe && live then incr both_hits
+      done;
+      (!safe_hits, !live_hits, !both_hits))
+
+let run_monte_carlo ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs
+    ~trials ~seed =
+  let hits =
+    mc_chunked ?domains ~trials ~seed (fun rng ->
+        let config = Config.sample ~crash_probs ~byz_probs rng in
+        (protocol.safe.full config, protocol.live.full config))
+  in
+  let workers =
+    Parallel.Pool.effective ?domains
+      ~tasks:(min Parallel.Chunked.default_chunks trials) ()
+  in
+  let engine = engine_tag ~workers (Printf.sprintf "monte-carlo(%d)" trials) in
+  mc_result protocol ~engine ~trials hits
+
+let run ?at ?(strategy = Auto) ?(seed = 42) ?domains (protocol : Protocol.t) fleet =
   let n = Faultmodel.Fleet.size fleet in
   if n <> protocol.n then
     invalid_arg
@@ -125,49 +172,45 @@ let run ?at ?(strategy = Auto) ?(seed = 42) (protocol : Protocol.t) fleet =
   in
   match strategy with
   | Count_dp -> run_count_dp protocol ~crash_probs ~byz_probs
-  | Enumeration -> run_enumeration protocol ~crash_probs ~byz_probs
-  | Monte_carlo trials -> run_monte_carlo protocol ~crash_probs ~byz_probs ~trials ~seed
+  | Enumeration -> run_enumeration ?domains protocol ~crash_probs ~byz_probs
+  | Monte_carlo trials ->
+      run_monte_carlo ?domains protocol ~crash_probs ~byz_probs ~trials ~seed
   | Auto ->
       if has_counts then run_count_dp protocol ~crash_probs ~byz_probs
       else if n <= 13 || (n <= Quorum.Subset.max_enumeration
                           && (Array.for_all (fun p -> p = 0.) byz_probs
                              || Array.for_all (fun p -> p = 0.) crash_probs))
-      then run_enumeration protocol ~crash_probs ~byz_probs
-      else run_monte_carlo protocol ~crash_probs ~byz_probs ~trials:200_000 ~seed
+      then run_enumeration ?domains protocol ~crash_probs ~byz_probs
+      else
+        run_monte_carlo ?domains protocol ~crash_probs ~byz_probs ~trials:200_000
+          ~seed
 
-let run_correlated ?at ?(trials = 200_000) ?(seed = 42) model (protocol : Protocol.t)
-    fleet =
+let run_correlated ?at ?(trials = 200_000) ?(seed = 42) ?domains model
+    (protocol : Protocol.t) fleet =
   let n = Faultmodel.Fleet.size fleet in
   if n <> protocol.n then
     invalid_arg "Analysis.run_correlated: fleet size mismatch";
-  let rng = Prob.Rng.create seed in
-  let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
-  for _ = 1 to trials do
-    let kinds = Faultmodel.Correlation.sample_kinds model fleet ?at rng in
-    let config =
-      Array.map
-        (function
-          | Faultmodel.Correlation.Ok -> Config.Correct
-          | Faultmodel.Correlation.Crash -> Config.Crashed
-          | Faultmodel.Correlation.Byz -> Config.Byzantine)
-        kinds
-    in
-    let safe = protocol.safe.full config and live = protocol.live.full config in
-    if safe then incr safe_hits;
-    if live then incr live_hits;
-    if safe && live then incr both_hits
-  done;
-  let proportion hits = float_of_int hits /. float_of_int trials in
-  {
-    protocol = protocol.name;
-    p_safe = proportion !safe_hits;
-    p_live = proportion !live_hits;
-    p_safe_live = proportion !both_hits;
-    engine = Printf.sprintf "monte-carlo-correlated(%d)" trials;
-    ci_safe = Some (Prob.Montecarlo.wilson_interval ~successes:!safe_hits ~trials);
-    ci_live = Some (Prob.Montecarlo.wilson_interval ~successes:!live_hits ~trials);
-    ci_safe_live = Some (Prob.Montecarlo.wilson_interval ~successes:!both_hits ~trials);
-  }
+  let hits =
+    mc_chunked ?domains ~trials ~seed (fun rng ->
+        let kinds = Faultmodel.Correlation.sample_kinds model fleet ?at rng in
+        let config =
+          Array.map
+            (function
+              | Faultmodel.Correlation.Ok -> Config.Correct
+              | Faultmodel.Correlation.Crash -> Config.Crashed
+              | Faultmodel.Correlation.Byz -> Config.Byzantine)
+            kinds
+        in
+        (protocol.safe.full config, protocol.live.full config))
+  in
+  let workers =
+    Parallel.Pool.effective ?domains
+      ~tasks:(min Parallel.Chunked.default_chunks trials) ()
+  in
+  let engine =
+    engine_tag ~workers (Printf.sprintf "monte-carlo-correlated(%d)" trials)
+  in
+  mc_result protocol ~engine ~trials hits
 
 let pp_result fmt r =
   Format.fprintf fmt "@[<v>%s [%s]:@ safe %a, live %a, safe&live %a@]" r.protocol

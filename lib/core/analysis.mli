@@ -12,7 +12,16 @@
     - {b Exact enumeration}: node-identity-dependent predicates, up to
       [2^24] binary or [3^13] ternary configurations.
     - {b Monte Carlo}: anything larger, and all correlated models;
-      returns a 95% confidence interval. *)
+      returns a 95% confidence interval.
+
+    Enumeration and Monte Carlo run on the {!Parallel} domain pool:
+    the configuration space (or trial budget) is split into chunks
+    whose boundaries depend only on the instance, each chunk keeps a
+    Kahan-compensated partial sum (or its own RNG stream derived from
+    [(seed, chunk)]), and partials are reduced in chunk order — so
+    exact engines are bit-identical and Monte Carlo estimates
+    seed-reproducible across any [?domains] setting, including
+    sequential. The default lane count honours [PROBCONS_DOMAINS]. *)
 
 type strategy =
   | Auto
@@ -35,18 +44,24 @@ val run :
   ?at:float ->
   ?strategy:strategy ->
   ?seed:int ->
+  ?domains:int ->
   Protocol.t ->
   Faultmodel.Fleet.t ->
   result
 (** [at] is the mission time at which fault curves are evaluated
-    (default one year). Raises [Invalid_argument] when the fleet size
-    does not match the protocol's [n], or when a forced strategy cannot
-    handle the instance. *)
+    (default one year). [domains] caps the parallel lanes used by the
+    enumeration and Monte-Carlo engines (default: the {!Parallel.Pool}
+    default; [0]/[1] force sequential); results are identical for every
+    value. When parallel lanes were used, the [engine] string records
+    it, e.g. ["enumeration-binary/8d"]. Raises [Invalid_argument] when
+    the fleet size does not match the protocol's [n], or when a forced
+    strategy cannot handle the instance. *)
 
 val run_correlated :
   ?at:float ->
   ?trials:int ->
   ?seed:int ->
+  ?domains:int ->
   Faultmodel.Correlation.t ->
   Protocol.t ->
   Faultmodel.Fleet.t ->

@@ -74,6 +74,53 @@ let iter_binary ~n ~byzantine f =
   Quorum.Subset.iter_subsets n (fun failed ->
       f (of_failed_subset ~n ~byzantine failed))
 
+let iter_binary_range ~n ~byzantine ~lo ~hi f =
+  Quorum.Subset.iter_subsets_range n ~lo ~hi (fun failed ->
+      f (of_failed_subset ~n ~byzantine failed))
+
+let ternary_cardinality ~n =
+  if n < 0 || n > 13 then invalid_arg "Config.ternary_cardinality: universe too large";
+  let rec pow acc k = if k = 0 then acc else pow (acc * 3) (k - 1) in
+  pow 1 n
+
+let status_of_digit = function
+  | 0 -> Correct
+  | 1 -> Crashed
+  | _ -> Byzantine
+
+let iter_ternary_range ~n ~lo ~hi f =
+  let total = ternary_cardinality ~n in
+  if lo < 0 || hi > total || lo > hi then
+    invalid_arg "Config.iter_ternary_range: range outside [0, 3^n]";
+  if lo < hi then begin
+    (* Decode [lo] into base-3 digits (node 0 most significant, matching
+       [iter_ternary]'s recursion order), then run the odometer. *)
+    let digits = Array.make n 0 in
+    let rest = ref lo in
+    for u = n - 1 downto 0 do
+      digits.(u) <- !rest mod 3;
+      rest := !rest / 3
+    done;
+    let statuses = Array.init n (fun u -> status_of_digit digits.(u)) in
+    for _ = lo to hi - 1 do
+      f (Array.copy statuses);
+      let u = ref (n - 1) in
+      let carrying = ref true in
+      while !carrying && !u >= 0 do
+        if digits.(!u) = 2 then begin
+          digits.(!u) <- 0;
+          statuses.(!u) <- Correct;
+          decr u
+        end
+        else begin
+          digits.(!u) <- digits.(!u) + 1;
+          statuses.(!u) <- status_of_digit digits.(!u);
+          carrying := false
+        end
+      done
+    done
+  end
+
 let iter_ternary ~n f =
   if n > 13 then invalid_arg "Config.iter_ternary: universe too large";
   let statuses = Array.make n Correct in

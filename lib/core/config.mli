@@ -42,7 +42,23 @@ val iter_binary : n:int -> byzantine:bool -> (t -> unit) -> unit
 (** Enumerate all [2^n] configurations whose failures are all of one
     kind. Raises for [n > 24]. *)
 
+val iter_binary_range :
+  n:int -> byzantine:bool -> lo:int -> hi:int -> (t -> unit) -> unit
+(** The slice of {!iter_binary}'s sequence with bitmask indices in
+    [lo, hi) — one worker's share of a chunked parallel enumeration. *)
+
 val iter_ternary : n:int -> (t -> unit) -> unit
 (** Enumerate all [3^n] configurations. Raises for [n > 13]. *)
+
+val ternary_cardinality : n:int -> int
+(** [3^n], the length of {!iter_ternary}'s sequence. Raises for
+    [n > 13]. *)
+
+val iter_ternary_range : n:int -> lo:int -> hi:int -> (t -> unit) -> unit
+(** The slice of {!iter_ternary}'s sequence with indices in [lo, hi):
+    configurations are ordered as base-3 numerals with node 0 as the
+    most significant digit (0 = correct, 1 = crashed, 2 = Byzantine).
+    Concatenating the slices of a partition of [0, 3^n) reproduces
+    {!iter_ternary} exactly. *)
 
 val pp : Format.formatter -> t -> unit

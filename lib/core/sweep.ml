@@ -1,41 +1,57 @@
 let pct = Prob.Nines.percent_string
 
-let raft_grid ~ns ~ps =
+(* Grid cells are independent Analysis.run instances: evaluate the
+   flattened (row, col) cell list on the domain pool and reassemble the
+   table in order. Cells force ~domains:1 on their inner analysis — the
+   parallelism budget is spent across cells, and Pool makes nested
+   calls sequential anyway. *)
+let grid_cells ?domains ~rows ~cols cell =
+  let n_rows = List.length rows and n_cols = List.length cols in
+  let rows_a = Array.of_list rows and cols_a = Array.of_list cols in
+  let flat =
+    Parallel.Pool.map ?domains (n_rows * n_cols) (fun i ->
+        cell rows_a.(i / n_cols) cols_a.(i mod n_cols))
+  in
+  List.init n_rows (fun r ->
+      List.init n_cols (fun c -> flat.((r * n_cols) + c)))
+
+let raft_grid ?domains ~ns ~ps () =
   let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
   let t = Report.create ~header in
-  List.iter
-    (fun n ->
-      Report.add_row t
-        (string_of_int n
-        :: List.map (fun p -> pct (Raft_model.safe_and_live_uniform ~n ~p)) ps))
-    ns;
+  let cells =
+    grid_cells ?domains ~rows:ns ~cols:ps (fun n p ->
+        pct (Raft_model.safe_and_live_uniform ~n ~p))
+  in
+  List.iter2
+    (fun n row -> Report.add_row t (string_of_int n :: row))
+    ns cells;
   t
 
-let pbft_grid ~ns ~ps =
+let pbft_grid ?domains ~ns ~ps () =
   let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
   let t = Report.create ~header in
-  List.iter
-    (fun n ->
-      let proto = Pbft_model.protocol (Pbft_model.default n) in
-      Report.add_row t
-        (string_of_int n
-        :: List.map
-             (fun p ->
-               let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
-               pct (Analysis.run proto fleet).Analysis.p_safe_live)
-             ps))
-    ns;
+  let cells =
+    grid_cells ?domains ~rows:ns ~cols:ps (fun n p ->
+        let proto = Pbft_model.protocol (Pbft_model.default n) in
+        let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
+        pct (Analysis.run ~domains:1 proto fleet).Analysis.p_safe_live)
+  in
+  List.iter2
+    (fun n row -> Report.add_row t (string_of_int n :: row))
+    ns cells;
   t
 
-let pbft_safety_liveness_grid ~ns ~p =
+let pbft_safety_liveness_grid ?domains ~ns ~p () =
   let t = Report.create ~header:[ "N"; "safe"; "live"; "safe&live"; "safe-or-accountable" ] in
-  List.iter
-    (fun n ->
-      let params = Pbft_model.default n in
-      let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
-      let r = Analysis.run (Pbft_model.protocol params) fleet in
-      let forensic = Analysis.run (Pbft_model.safe_or_accountable params) fleet in
-      Report.add_row t
+  let rows =
+    Parallel.Pool.map ?domains (List.length ns) (fun i ->
+        let n = List.nth ns i in
+        let params = Pbft_model.default n in
+        let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
+        let r = Analysis.run ~domains:1 (Pbft_model.protocol params) fleet in
+        let forensic =
+          Analysis.run ~domains:1 (Pbft_model.safe_or_accountable params) fleet
+        in
         [
           string_of_int n;
           pct r.Analysis.p_safe;
@@ -43,37 +59,37 @@ let pbft_safety_liveness_grid ~ns ~p =
           pct r.Analysis.p_safe_live;
           pct forensic.Analysis.p_safe;
         ])
-    ns;
+  in
+  Array.iter (Report.add_row t) rows;
   t
 
-let timeline fleet ~times =
+let timeline ?domains fleet ~times =
   let n = Faultmodel.Fleet.size fleet in
   let proto = Raft_model.protocol (Raft_model.default n) in
   let t = Report.create ~header:[ "mission time (h)"; "safe&live"; "nines" ] in
-  List.iter
-    (fun at ->
-      let r = Analysis.run ~at proto fleet in
-      Report.add_row t
+  let rows =
+    Parallel.Pool.map ?domains (List.length times) (fun i ->
+        let at = List.nth times i in
+        let r = Analysis.run ~at ~domains:1 proto fleet in
         [
           Printf.sprintf "%.0f" at;
           pct r.Analysis.p_safe_live;
           Printf.sprintf "%.2f" (Prob.Nines.of_prob r.Analysis.p_safe_live);
         ])
-    times;
+  in
+  Array.iter (Report.add_row t) rows;
   t
 
-let min_cluster_frontier ~targets ~ps =
+let min_cluster_frontier ?domains ~targets ~ps () =
   let header = "target" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
   let t = Report.create ~header in
-  List.iter
-    (fun target ->
-      Report.add_row t
-        (pct target
-        :: List.map
-             (fun p ->
-               match Equivalence.min_raft_cluster ~target ~p () with
-               | Some e -> string_of_int e.Equivalence.n
-               | None -> "-")
-             ps))
-    targets;
+  let cells =
+    grid_cells ?domains ~rows:targets ~cols:ps (fun target p ->
+        match Equivalence.min_raft_cluster ~target ~p () with
+        | Some e -> string_of_int e.Equivalence.n
+        | None -> "-")
+  in
+  List.iter2
+    (fun target row -> Report.add_row t (pct target :: row))
+    targets cells;
   t

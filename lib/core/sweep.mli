@@ -3,26 +3,34 @@
     Batch wrappers over the analysis engine producing {!Report} tables
     (renderable as text or CSV): reliability across cluster sizes and
     fault probabilities, and the minimum cluster size meeting a target
-    at each fault probability. *)
+    at each fault probability.
 
-val raft_grid : ns:int list -> ps:float list -> Report.t
+    Every (n, p) cell is an independent [Analysis.run], so grids are
+    evaluated concurrently on the domain pool; [?domains] caps the
+    lanes (default {!Parallel.Pool.default}, [PROBCONS_DOMAINS]-aware).
+    Cell values are computed by the deterministic chunked engines, so
+    the tables are identical for every lane count. *)
+
+val raft_grid : ?domains:int -> ns:int list -> ps:float list -> unit -> Report.t
 (** Safe-and-live probability of standard Raft for every (n, p) cell —
     the generalization of the paper's Table 2. *)
 
-val pbft_grid : ns:int list -> ps:float list -> Report.t
+val pbft_grid : ?domains:int -> ns:int list -> ps:float list -> unit -> Report.t
 (** Safe-and-live probability of default-parameter PBFT (Byzantine
     faults) for every (n, p) cell. *)
 
-val pbft_safety_liveness_grid : ns:int list -> p:float -> Report.t
+val pbft_safety_liveness_grid :
+  ?domains:int -> ns:int list -> p:float -> unit -> Report.t
 (** Safe, live, and safe-and-live per cluster size at one fault
     probability — the generalization of Table 1. *)
 
-val min_cluster_frontier : targets:float list -> ps:float list -> Report.t
+val min_cluster_frontier :
+  ?domains:int -> targets:float list -> ps:float list -> unit -> Report.t
 (** For each (target, p): the smallest Raft cluster meeting the target,
     or "-" when unattainable within 99 nodes. The cost-planning grid
     behind the paper's E3. *)
 
-val timeline : Faultmodel.Fleet.t -> times:float list -> Report.t
+val timeline : ?domains:int -> Faultmodel.Fleet.t -> times:float list -> Report.t
 (** Raft safe-and-live probability of the fleet at each mission time —
     the operator's view of time-dependent fault curves (bathtubs,
     wear-out): reliability is not a number but a trajectory. *)

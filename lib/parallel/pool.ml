@@ -1,0 +1,67 @@
+(* The OCaml 5 runtime supports at most 128 simultaneous domains,
+   including the main one; stay comfortably below. *)
+let max_workers = 126
+
+(* Worker domains must never spawn further domains: a nested analysis
+   (e.g. Analysis.run inside a Sweep cell) degrades to sequential
+   instead of oversubscribing or hitting the runtime's domain cap. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let env_domains () =
+  match Sys.getenv_opt "PROBCONS_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d -> Some (max 0 d)
+      | None -> None)
+
+let default_domains =
+  lazy
+    (match env_domains () with
+    | Some d -> min d max_workers
+    | None -> min max_workers (max 1 (Domain.recommended_domain_count () - 1)))
+
+let default () = Lazy.force default_domains
+
+let resolve domains =
+  let d = match domains with Some d -> d | None -> default () in
+  max 1 (min d max_workers)
+
+let effective ?domains ~tasks () =
+  if tasks <= 1 || Domain.DLS.get in_worker_key then 1
+  else min (resolve domains) tasks
+
+let map ?domains n f =
+  let workers = effective ?domains ~tasks:n () in
+  if workers <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set failure None (Some e))
+      done
+    in
+    let spawned =
+      List.init (workers - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker_key true;
+              work ()))
+    in
+    (* The calling domain is one of the lanes; while it works through
+       tasks it counts as a worker too, so nested maps inside tasks
+       degrade to sequential on every lane. *)
+    let prev = Domain.DLS.get in_worker_key in
+    Domain.DLS.set in_worker_key true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker_key prev) work;
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end

@@ -1,12 +1,26 @@
+(* Kahan–Babuška (Neumaier) compensation: unlike textbook Kahan, the
+   correction also survives terms larger than the running sum, e.g.
+   [1; 1e100; 1; -1e100]. *)
+type kahan = { sum : float; comp : float }
+
+let kahan_zero = { sum = 0.; comp = 0. }
+
+let kahan_add k x =
+  let t = k.sum +. x in
+  let comp =
+    if Float.abs k.sum >= Float.abs x then k.comp +. ((k.sum -. t) +. x)
+    else k.comp +. ((x -. t) +. k.sum)
+  in
+  { sum = t; comp }
+
+let kahan_total k = k.sum +. k.comp
+
 let kahan_sum a =
-  let sum = ref 0. and comp = ref 0. in
+  let acc = ref kahan_zero in
   for i = 0 to Array.length a - 1 do
-    let y = a.(i) -. !comp in
-    let t = !sum +. y in
-    comp := t -. !sum -. y;
-    sum := t
+    acc := kahan_add !acc a.(i)
   done;
-  !sum
+  kahan_total !acc
 
 let kahan_sum_list l = kahan_sum (Array.of_list l)
 

@@ -4,6 +4,20 @@
     here exist to keep long summations accurate (Kahan compensation) and
     to evaluate combinatorial quantities without overflow (log space). *)
 
+type kahan = { sum : float; comp : float }
+(** Streaming compensated accumulator (Kahan–Babuška/Neumaier variant,
+    which also survives terms larger than the running sum). Immutable
+    so per-chunk partial sums can be built independently in parallel
+    and reduced deterministically. *)
+
+val kahan_zero : kahan
+
+val kahan_add : kahan -> float -> kahan
+(** One compensated accumulation step. *)
+
+val kahan_total : kahan -> float
+(** The accumulated sum. *)
+
 val kahan_sum : float array -> float
 (** Compensated summation; accurate for long sums of small terms. *)
 

@@ -9,6 +9,14 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+let of_pair seed index =
+  (* Jump the SplitMix stream for [seed] to position [index + 1], then
+     re-mix: streams for distinct indices are as far apart as [split]
+     would place them, but reachable in O(1) from the pair alone. *)
+  let base = mix (Int64.of_int seed) in
+  let jumped = Int64.add base (Int64.mul golden_gamma (Int64.of_int (index + 1))) in
+  { state = mix jumped }
+
 let copy t = { state = t.state }
 
 let next_int64 t =

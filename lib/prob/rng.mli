@@ -12,6 +12,12 @@ val create : int -> t
 (** [create seed] makes a fresh generator. Equal seeds give equal
     streams. *)
 
+val of_pair : int -> int -> t
+(** [of_pair seed index] derives the [index]-th independent stream of
+    [seed] deterministically and in O(1) — the streams chunked parallel
+    Monte Carlo assigns to chunks, so estimates depend only on
+    [(seed, chunking)], never on domain count or scheduling. *)
+
 val copy : t -> t
 
 val split : t -> t

@@ -127,7 +127,7 @@ let self_intersecting t =
   | Grid _ -> true
   | Weighted _ | Explicit _ -> intersects_in t t >= 1
 
-let availability t probs =
+let availability ?domains t probs =
   let n = size t in
   if Array.length probs <> n then
     invalid_arg "Quorum_system.availability: wrong probability vector length";
@@ -138,17 +138,24 @@ let availability t probs =
   | Weighted _ | Grid _ | Explicit _ ->
       if n > Subset.max_enumeration then
         invalid_arg "Quorum_system.availability: universe too large";
-      let total = ref 0. in
-      Subset.iter_subsets n (fun failed ->
-          let live = Subset.complement n failed in
-          if contains_quorum t live then begin
-            let p = ref 1. in
-            for u = 0 to n - 1 do
-              p := !p *. (if Subset.mem failed u then probs.(u) else 1. -. probs.(u))
-            done;
-            total := !total +. !p
-          end);
-      Prob.Math_utils.clamp_prob !total
+      let total =
+        Parallel.Chunked.sum ?domains ~total:(Subset.full n + 1) (fun ~lo ~hi ->
+            let acc = ref Prob.Math_utils.kahan_zero in
+            Subset.iter_subsets_range n ~lo ~hi (fun failed ->
+                let live = Subset.complement n failed in
+                if contains_quorum t live then begin
+                  let p = ref 1. in
+                  for u = 0 to n - 1 do
+                    p :=
+                      !p
+                      *. (if Subset.mem failed u then probs.(u)
+                          else 1. -. probs.(u))
+                  done;
+                  acc := Prob.Math_utils.kahan_add !acc !p
+                end);
+            Prob.Math_utils.kahan_total !acc)
+      in
+      Prob.Math_utils.clamp_prob total
 
 let uniform_strategy_load t =
   let quorums = minimal_quorums t in

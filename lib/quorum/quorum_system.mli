@@ -58,7 +58,7 @@ val intersects_in : t -> t -> int
     safety conditions are assertions that such minima are >= 1 (CFT) or
     large enough to contain a correct node (BFT). *)
 
-val availability : t -> float array -> float
+val availability : ?domains:int -> t -> float array -> float
 (** [availability qs probs] = probability that the set of live nodes
     contains a quorum, when node [u] fails independently with
     probability [probs.(u)]. Closed form for threshold systems with

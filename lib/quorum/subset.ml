@@ -32,6 +32,15 @@ let iter_subsets n f =
     f s
   done
 
+let iter_subsets_range n ~lo ~hi f =
+  if n < 0 || n > max_enumeration then
+    invalid_arg "Subset.iter_subsets_range: universe too large for enumeration";
+  if lo < 0 || hi > full n + 1 || lo > hi then
+    invalid_arg "Subset.iter_subsets_range: range outside [0, 2^n]";
+  for s = lo to hi - 1 do
+    f s
+  done
+
 let iter_ksubsets n k f =
   if k < 0 || k > n then ()
   else if k = 0 then f 0

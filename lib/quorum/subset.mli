@@ -31,6 +31,14 @@ val iter_subsets : int -> (t -> unit) -> unit
 (** Apply to all [2^n] subsets of [0..n-1]. Raises [Invalid_argument]
     when [n > 24] — beyond that use sampling. *)
 
+val iter_subsets_range : int -> lo:t -> hi:t -> (t -> unit) -> unit
+(** [iter_subsets_range n ~lo ~hi f] applies [f] to the bitmasks
+    [lo, lo+1, ..., hi-1], in order — the contiguous slice of
+    {!iter_subsets}' sequence that chunked parallel enumeration hands
+    to one worker. Requires [0 <= lo <= hi <= 2^n]. Concatenating the
+    ranges of any partition of [0, 2^n) reproduces {!iter_subsets}
+    exactly. *)
+
 val iter_ksubsets : int -> int -> (t -> unit) -> unit
 (** Apply to all size-[k] subsets of [0..n-1], in Gosper order. *)
 

@@ -665,7 +665,7 @@ let contains_substring haystack needle =
   go 0
 
 let test_sweep_raft_grid_matches_closed_form () =
-  let table = Sweep.raft_grid ~ns:[ 3; 5 ] ~ps:[ 0.01; 0.08 ] in
+  let table = Sweep.raft_grid ~ns:[ 3; 5 ] ~ps:[ 0.01; 0.08 ] () in
   let rendered = Report.render table in
   (* Spot checks: the Table 2 corner cells appear. *)
   List.iter
@@ -698,6 +698,7 @@ let test_sweep_frontier_monotone () =
     Sweep.min_cluster_frontier
       ~targets:[ Prob.Nines.to_prob 3. ]
       ~ps:[ 0.01; 0.02; 0.08 ]
+      ()
   in
   let csv = Report.to_csv table in
   (* CSV round-trip: header + one row; sizes grow with p. *)

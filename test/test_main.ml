@@ -2,6 +2,7 @@ let () =
   Alcotest.run "probcons"
     [
       ("prob", Test_prob.suite);
+      ("parallel", Test_parallel.suite);
       ("faultmodel", Test_faultmodel.suite);
       ("quorum", Test_quorum.suite);
       ("core", Test_core.suite);

@@ -1,0 +1,96 @@
+(* The domain pool and chunked map-reduce: ordering, determinism,
+   error propagation, nested-call degradation. *)
+
+let test_map_preserves_order () =
+  let r = Parallel.Pool.map ~domains:4 100 (fun i -> i * i) in
+  Alcotest.(check int) "length" 100 (Array.length r);
+  Array.iteri (fun i v -> Alcotest.(check int) "cell" (i * i) v) r
+
+let test_map_sequential_matches_parallel () =
+  let f i = float_of_int (i + 1) ** 1.5 in
+  let a = Parallel.Pool.map ~domains:1 64 f in
+  let b = Parallel.Pool.map ~domains:4 64 f in
+  Alcotest.(check bool) "bit-identical" true (a = b)
+
+let test_map_empty_and_single () =
+  Alcotest.(check int) "empty" 0 (Array.length (Parallel.Pool.map ~domains:4 0 Fun.id));
+  Alcotest.(check bool) "single" true (Parallel.Pool.map ~domains:4 1 (fun i -> i = 0)).(0)
+
+let test_map_propagates_exceptions () =
+  Alcotest.check_raises "task failure surfaces" (Invalid_argument "boom") (fun () ->
+      ignore (Parallel.Pool.map ~domains:3 16 (fun i -> if i = 7 then invalid_arg "boom" else i)))
+
+let test_nested_map_degrades () =
+  (* A task that itself calls Pool.map must see a sequential pool. *)
+  let lanes =
+    Parallel.Pool.map ~domains:4 8 (fun _ ->
+        Parallel.Pool.effective ~domains:4 ~tasks:8 ())
+  in
+  Array.iter (fun l -> Alcotest.(check int) "nested lanes" 1 l) lanes
+
+let test_effective_caps () =
+  Alcotest.(check int) "single task" 1 (Parallel.Pool.effective ~domains:8 ~tasks:1 ());
+  Alcotest.(check int) "task-bound" 3 (Parallel.Pool.effective ~domains:8 ~tasks:3 ());
+  Alcotest.(check int) "zero domains = sequential" 1
+    (Parallel.Pool.effective ~domains:0 ~tasks:100 ())
+
+let test_ranges_partition () =
+  List.iter
+    (fun total ->
+      let rs = Parallel.Chunked.ranges ~total () in
+      let covered = ref 0 in
+      Array.iteri
+        (fun i (lo, hi) ->
+          Alcotest.(check bool) "contiguous" true (lo <= hi);
+          if i = 0 then Alcotest.(check int) "starts at 0" 0 lo
+          else begin
+            let _, prev_hi = rs.(i - 1) in
+            Alcotest.(check int) "no gap" prev_hi lo
+          end;
+          covered := !covered + (hi - lo))
+        rs;
+      Alcotest.(check int) "covers everything" (max 0 total) !covered)
+    [ 0; 1; 7; 64; 65; 1000; 1 lsl 20 ]
+
+let test_chunked_sum_deterministic () =
+  let f ~lo ~hi =
+    let acc = ref Prob.Math_utils.kahan_zero in
+    for i = lo to hi - 1 do
+      acc := Prob.Math_utils.kahan_add !acc (1. /. float_of_int (i + 1))
+    done;
+    Prob.Math_utils.kahan_total !acc
+  in
+  let s1 = Parallel.Chunked.sum ~domains:1 ~total:100_000 f in
+  let s4 = Parallel.Chunked.sum ~domains:4 ~total:100_000 f in
+  Alcotest.(check bool) "bit-identical harmonic sum" true (Float.equal s1 s4);
+  Alcotest.(check bool) "close to ln n + gamma" true
+    (Float.abs (s1 -. (log 100_000. +. 0.5772156649)) < 1e-4)
+
+let test_chunked_count3_exact () =
+  let f ~chunk:_ ~lo ~hi = (hi - lo, 2 * (hi - lo), 0) in
+  let a, b, c = Parallel.Chunked.count3 ~domains:4 ~total:12_345 f in
+  Alcotest.(check int) "first" 12_345 a;
+  Alcotest.(check int) "second" 24_690 b;
+  Alcotest.(check int) "third" 0 c
+
+let test_rng_of_pair_streams_distinct () =
+  let draws index =
+    let rng = Prob.Rng.of_pair 42 index in
+    List.init 8 (fun _ -> Prob.Rng.next_int64 rng)
+  in
+  Alcotest.(check bool) "deterministic" true (draws 0 = draws 0);
+  Alcotest.(check bool) "distinct streams" true (draws 0 <> draws 1)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "map seq = parallel" `Quick test_map_sequential_matches_parallel;
+    Alcotest.test_case "map edge sizes" `Quick test_map_empty_and_single;
+    Alcotest.test_case "map propagates exceptions" `Quick test_map_propagates_exceptions;
+    Alcotest.test_case "nested map degrades" `Quick test_nested_map_degrades;
+    Alcotest.test_case "effective caps" `Quick test_effective_caps;
+    Alcotest.test_case "ranges partition" `Quick test_ranges_partition;
+    Alcotest.test_case "chunked sum deterministic" `Quick test_chunked_sum_deterministic;
+    Alcotest.test_case "count3 exact" `Quick test_chunked_count3_exact;
+    Alcotest.test_case "rng of_pair streams" `Quick test_rng_of_pair_streams_distinct;
+  ]

@@ -22,6 +22,30 @@ let test_kahan_empty () =
   check_float "empty sum" 0. (Math_utils.kahan_sum [||]);
   check_float "list sum" 6. (Math_utils.kahan_sum_list [ 1.; 2.; 3. ])
 
+let test_kahan_accumulator_adversarial () =
+  (* The classic cancellation sequence: naive left-to-right summation of
+     [1; 1e100; 1; -1e100] returns 0; compensated summation keeps the
+     two units. The streaming accumulator backs every per-chunk partial
+     sum in the parallel engines. *)
+  let seq = [ 1.; 1e100; 1.; -1e100 ] in
+  let naive = List.fold_left ( +. ) 0. seq in
+  let kahan =
+    Math_utils.kahan_total
+      (List.fold_left Math_utils.kahan_add Math_utils.kahan_zero seq)
+  in
+  check_float ~eps:0. "naive cancels to 0" 0. naive;
+  check_float ~eps:0. "kahan keeps both units" 2. kahan;
+  (* Streaming accumulator and array form agree. *)
+  check_float ~eps:0. "array form agrees" kahan
+    (Math_utils.kahan_sum (Array.of_list seq));
+  (* Peters' variant: the compensation must survive alternating signs. *)
+  let alt = [ 1e16; 1.; -1e16; 1. ] in
+  let streamed =
+    Math_utils.kahan_total
+      (List.fold_left Math_utils.kahan_add Math_utils.kahan_zero alt)
+  in
+  check_float ~eps:0. "alternating signs" 2. streamed
+
 let test_log_factorial_small () =
   check_float "0!" 0. (Math_utils.log_factorial 0);
   check_float "1!" 0. (Math_utils.log_factorial 1);
@@ -423,6 +447,7 @@ let suite =
   [
     Alcotest.test_case "kahan pathological" `Slow test_kahan_pathological;
     Alcotest.test_case "kahan empty/list" `Quick test_kahan_empty;
+    Alcotest.test_case "kahan adversarial" `Quick test_kahan_accumulator_adversarial;
     Alcotest.test_case "log_factorial small" `Quick test_log_factorial_small;
     Alcotest.test_case "log_factorial continuity" `Quick test_log_factorial_stirling_continuity;
     Alcotest.test_case "log_factorial negative" `Quick test_log_factorial_negative;

@@ -122,6 +122,116 @@ let prop_uniform_stake_equals_count_threshold =
       Float.abs (a.Analysis.p_safe -. b.Analysis.p_safe) < 1e-9
       && Float.abs (a.Analysis.p_live -. b.Analysis.p_live) < 1e-9)
 
+(* --- Parallel determinism --------------------------------------------
+
+   The chunked engines must be *bit-identical* across domain counts:
+   exact engines because chunk boundaries and reduction order are fixed,
+   Monte Carlo because chunk RNG streams depend only on (seed, chunk). *)
+
+let identical_numbers a b =
+  Float.equal a.Analysis.p_safe b.Analysis.p_safe
+  && Float.equal a.Analysis.p_live b.Analysis.p_live
+  && Float.equal a.Analysis.p_safe_live b.Analysis.p_safe_live
+
+let random_identity_protocol rng ~n =
+  (* Stake weights make the predicates node-identity-dependent, which
+     forces the enumeration engine (binary or ternary depending on the
+     fleet's fault mix). *)
+  Stake_model.protocol
+    (Stake_model.make (Array.init n (fun _ -> 1. +. Prob.Rng.float rng)))
+
+let prop_enumeration_bit_stable_across_domains =
+  QCheck.Test.make ~count:20 ~name:"enumeration: domains:1 = domains:4 bit-identical"
+    QCheck.(triple (int_range 3 8) bool (int_range 0 100_000))
+    (fun (n, ternary, seed) ->
+      let rng = Prob.Rng.create seed in
+      let fleet =
+        (* byz:true with full byz_fraction mix -> ternary path; byz:false
+           -> pure-crash binary path. *)
+        random_fleet rng ~n ~max_p:0.3 ~byz:ternary
+      in
+      let proto = random_identity_protocol rng ~n in
+      let seq = Analysis.run ~strategy:Analysis.Enumeration ~domains:1 proto fleet in
+      let par = Analysis.run ~strategy:Analysis.Enumeration ~domains:4 proto fleet in
+      identical_numbers seq par)
+
+let prop_count_dp_bit_stable_across_domains =
+  QCheck.Test.make ~count:15 ~name:"count-dp: domains:1 = domains:4 bit-identical"
+    QCheck.(pair (int_range 3 9) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prob.Rng.create seed in
+      let fleet = random_fleet rng ~n ~max_p:0.3 ~byz:true in
+      let proto =
+        if n >= 4 && Prob.Rng.bool rng 0.5 then Pbft_model.protocol (Pbft_model.default n)
+        else Raft_model.protocol (Raft_model.default n)
+      in
+      let seq = Analysis.run ~strategy:Analysis.Count_dp ~domains:1 proto fleet in
+      let par = Analysis.run ~strategy:Analysis.Count_dp ~domains:4 proto fleet in
+      identical_numbers seq par)
+
+let prop_monte_carlo_seed_reproducible_across_domains =
+  QCheck.Test.make ~count:10
+    ~name:"monte carlo: same seed, domains:1 = domains:4 identical"
+    QCheck.(triple (int_range 3 10) (int_range 0 100_000) (int_range 1 5))
+    (fun (n, seed, k) ->
+      let rng = Prob.Rng.create seed in
+      let fleet = random_fleet rng ~n ~max_p:0.3 ~byz:true in
+      let proto = random_identity_protocol rng ~n in
+      let trials = k * 1000 in
+      let seq =
+        Analysis.run ~strategy:(Analysis.Monte_carlo trials) ~seed ~domains:1 proto fleet
+      in
+      let par =
+        Analysis.run ~strategy:(Analysis.Monte_carlo trials) ~seed ~domains:4 proto fleet
+      in
+      identical_numbers seq par
+      && seq.Analysis.ci_safe = par.Analysis.ci_safe
+      && seq.Analysis.ci_live = par.Analysis.ci_live)
+
+let prop_iter_subsets_range_partitions_space =
+  QCheck.Test.make ~count:50 ~name:"iter_subsets_range partition covers the space"
+    QCheck.(pair (int_range 1 12) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prob.Rng.create seed in
+      let total = (1 lsl n) in
+      (* Random partition of [0, 2^n): 1-4 ordered cut points. *)
+      let cuts =
+        List.init (1 + Prob.Rng.int rng 4) (fun _ -> Prob.Rng.int rng (total + 1))
+        |> List.sort_uniq compare
+      in
+      let bounds = (0 :: cuts) @ [ total ] in
+      let from_ranges = ref [] in
+      let rec walk = function
+        | lo :: (hi :: _ as rest) ->
+            Quorum.Subset.iter_subsets_range n ~lo ~hi (fun s ->
+                from_ranges := s :: !from_ranges);
+            walk rest
+        | _ -> ()
+      in
+      walk bounds;
+      let whole = ref [] in
+      Quorum.Subset.iter_subsets n (fun s -> whole := s :: !whole);
+      List.rev !from_ranges = List.rev !whole)
+
+let prop_iter_ternary_range_partitions_space =
+  QCheck.Test.make ~count:30 ~name:"iter_ternary_range partition covers the space"
+    QCheck.(pair (int_range 1 6) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let rng = Prob.Rng.create seed in
+      let total = Config.ternary_cardinality ~n in
+      let mid = Prob.Rng.int rng (total + 1) in
+      let collect f =
+        let acc = ref [] in
+        f (fun c -> acc := Array.to_list c :: !acc);
+        List.rev !acc
+      in
+      let sliced =
+        collect (fun f -> Config.iter_ternary_range ~n ~lo:0 ~hi:mid f)
+        @ collect (fun f -> Config.iter_ternary_range ~n ~lo:mid ~hi:total f)
+      in
+      let whole = collect (fun f -> Config.iter_ternary ~n f) in
+      sliced = whole)
+
 let prop_nines_formatting_sane =
   QCheck.Test.make ~count:100 ~name:"percent_string stays within [0%,100%]"
     QCheck.(float_bound_inclusive 1.)
@@ -144,5 +254,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_equivalence_minimal;
     QCheck_alcotest.to_alcotest prop_upright_safety_between_raft_and_pbft;
     QCheck_alcotest.to_alcotest prop_uniform_stake_equals_count_threshold;
+    QCheck_alcotest.to_alcotest prop_enumeration_bit_stable_across_domains;
+    QCheck_alcotest.to_alcotest prop_count_dp_bit_stable_across_domains;
+    QCheck_alcotest.to_alcotest prop_monte_carlo_seed_reproducible_across_domains;
+    QCheck_alcotest.to_alcotest prop_iter_subsets_range_partitions_space;
+    QCheck_alcotest.to_alcotest prop_iter_ternary_range_partitions_space;
     QCheck_alcotest.to_alcotest prop_nines_formatting_sane;
   ]

@@ -133,6 +133,18 @@ let test_availability_explicit_enumeration () =
   let qs = Quorum_system.Explicit { n = 3; quorums = [ Subset.of_list [ 0 ] ] } in
   check_float ~eps:1e-12 "singleton" 0.9 (Quorum_system.availability qs [| 0.1; 0.5; 0.9 |])
 
+let test_availability_parallel_bit_stable () =
+  (* The enumeration branch runs on the domain pool; any lane count
+     must give bit-identical availability. *)
+  let qs =
+    Quorum_system.Weighted { weights = [| 3; 2; 2; 1; 1; 1; 1 |]; threshold = 6 }
+  in
+  let probs = [| 0.1; 0.02; 0.3; 0.05; 0.2; 0.15; 0.08 |] in
+  let seq = Quorum_system.availability ~domains:1 qs probs in
+  let par = Quorum_system.availability ~domains:4 qs probs in
+  Alcotest.(check bool) "bit-identical" true (Float.equal seq par);
+  Alcotest.(check bool) "in (0,1)" true (seq > 0. && seq < 1.)
+
 let test_availability_grid_vs_montecarlo () =
   let qs = Quorum_system.Grid { rows = 2; cols = 2 } in
   let p = 0.2 in
@@ -365,6 +377,8 @@ let suite =
       test_availability_threshold_closed_form;
     Alcotest.test_case "availability explicit" `Quick test_availability_explicit_enumeration;
     Alcotest.test_case "availability grid vs MC" `Slow test_availability_grid_vs_montecarlo;
+    Alcotest.test_case "availability parallel bit-stable" `Quick
+      test_availability_parallel_bit_stable;
     Alcotest.test_case "wheel system" `Quick test_wheel_system;
     Alcotest.test_case "uniform strategy load" `Quick test_uniform_strategy_load;
     QCheck_alcotest.to_alcotest prop_threshold_availability_monotone_in_p;
