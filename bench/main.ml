@@ -28,17 +28,31 @@ let json_rows : json_row list ref = ref []
 let record_row ~kernel ~n ~engine ~domains ~ns_per_run =
   json_rows := { kernel; n; engine; domains; ns_per_run } :: !json_rows
 
+(* Schema "probcons-bench/2": an object with perf rows plus the metrics
+   snapshot of the whole reproduction run, so CI can hold a line on both
+   timings and telemetry (tools/validate_bench checks the shape). *)
 let write_json path =
+  let row { kernel; n; engine; domains; ns_per_run } =
+    Obs.Json.Obj
+      [
+        ("kernel", Obs.Json.String kernel);
+        ("n", Obs.Json.Int n);
+        ("engine", Obs.Json.String engine);
+        ("domains", Obs.Json.Int domains);
+        ("ns_per_run", Obs.Json.number (Float.round ns_per_run));
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "probcons-bench/2");
+        ("rows", Obs.Json.List (List.rev_map row !json_rows));
+        ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+      ]
+  in
   let oc = open_out path in
-  output_string oc "[\n";
-  List.iteri
-    (fun i { kernel; n; engine; domains; ns_per_run } ->
-      if i > 0 then output_string oc ",\n";
-      Printf.fprintf oc
-        "  {\"kernel\": %S, \"n\": %d, \"engine\": %S, \"domains\": %d, \"ns_per_run\": %.0f}"
-        kernel n engine domains ns_per_run)
-    (List.rev !json_rows);
-  output_string oc "\n]\n";
+  output_string oc (Obs.Json.to_string doc);
+  output_string oc "\n";
   close_out oc;
   Printf.printf "\nwrote %d benchmark rows to %s\n" (List.length !json_rows) path
 
@@ -822,6 +836,46 @@ let p1_parallel_engine ~quick =
     \   domain count produces bit-identical exact results; wall-clock gains track\n\
     \   the machine's core count - a single-core host shows parity, not speedup)"
 
+(* ---------------------------------------------------------------- P2 *)
+
+let p2_obs_overhead ~quick =
+  section "P2. Observability overhead: instrumented hot loops, sink off vs on";
+  (* The raft simulation exercises every instrumented layer (engine
+     events, network sends, protocol counters). With the registry
+     disabled each record site costs one atomic load and a branch; the
+     off/on rows land in the --json artifact so CI can watch the gap. *)
+  let run_sim () =
+    let cluster = Raft_sim.Raft_cluster.create ~n:5 ~seed:7 () in
+    Raft_sim.Raft_cluster.submit_workload cluster
+      ~commands:(List.init 20 (fun i -> 100 + i))
+      ~start:500. ~interval:100.;
+    Raft_sim.Raft_cluster.run cluster ~until:60_000.
+  in
+  let time_reps reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      run_sim ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  in
+  let reps = if quick then 25 else 200 in
+  let prev = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled false;
+  ignore (time_reps 5);
+  let off_ns = time_reps reps in
+  Obs.Metrics.set_enabled true;
+  ignore (time_reps 5);
+  let on_ns = time_reps reps in
+  Obs.Metrics.set_enabled prev;
+  Printf.printf "  raft n=5 sim, metrics off: %8.0f us/run\n" (off_ns /. 1e3);
+  Printf.printf "  raft n=5 sim, metrics on:  %8.0f us/run  (%+.1f%%)\n"
+    (on_ns /. 1e3)
+    ((on_ns -. off_ns) /. off_ns *. 100.);
+  record_row ~kernel:"obs/sim-raft-metrics-off" ~n:5 ~engine:"dessim" ~domains:1
+    ~ns_per_run:off_ns;
+  record_row ~kernel:"obs/sim-raft-metrics-on" ~n:5 ~engine:"dessim" ~domains:1
+    ~ns_per_run:on_ns
+
 (* ------------------------------------------------- Bechamel kernels *)
 
 let kernel_tests () =
@@ -913,6 +967,10 @@ let json_target () =
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  (* Collect run telemetry for the whole reproduction; the final
+     snapshot is embedded in the --json artifact. P2 toggles the flag
+     locally to measure the disabled-path overhead. *)
+  Obs.Metrics.set_enabled true;
   (* Fail fast on an unwritable --json target rather than after the
      full run, which would lose every measurement. *)
   (match json_target () with
@@ -948,6 +1006,7 @@ let () =
   else e19_tail_latency ();
   e20_engine_ablation ();
   p1_parallel_engine ~quick;
+  p2_obs_overhead ~quick;
   if quick then print_endline "(microbenchmarks skipped: --quick)" else run_kernels ();
   (match json_target () with Some path -> write_json path | None -> ());
   print_newline ()

@@ -26,6 +26,36 @@ let target_nines_arg =
     & opt float 4.
     & info [ "target-nines" ] ~docv:"K" ~doc:"Reliability target as nines.")
 
+(* --- Metrics ------------------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable run telemetry: after the command finishes, print a metrics \
+           summary and write the snapshot as JSON lines to $(docv).")
+
+(* Command bodies are delayed (they take a trailing [()]), so the
+   registry can be enabled before any instrumented code runs —
+   cmdliner evaluates applied terms eagerly. *)
+let with_metrics term =
+  let wrap metrics thunk =
+    if metrics <> None then Obs.Metrics.set_enabled true;
+    thunk ();
+    match metrics with
+    | None -> ()
+    | Some path ->
+        let snap = Obs.Metrics.snapshot () in
+        print_newline ();
+        Probcons.Report.print ~title:"Run metrics"
+          (Probcons.Report.metrics_table snap);
+        Obs.Metrics.write_jsonl ~path snap;
+        Format.printf "metrics snapshot written to %s@." path
+  in
+  Term.(const wrap $ metrics_arg $ term)
+
 (* --- analyze ------------------------------------------------------- *)
 
 let protocol_conv =
@@ -47,7 +77,7 @@ let mix_arg =
            4x0.08,3x0.01). Overrides --n/--p.")
 
 let analyze_cmd =
-  let run proto n p mix =
+  let run proto n p mix () =
     let fleet =
       if mix = [] then
         Faultmodel.Fleet.uniform
@@ -79,7 +109,7 @@ let analyze_cmd =
       (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
       (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live)
   in
-  let term = Term.(const run $ protocol_arg $ n_arg $ p_arg $ mix_arg) in
+  let term = with_metrics Term.(const run $ protocol_arg $ n_arg $ p_arg $ mix_arg) in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Probabilistic safety/liveness of a Raft or PBFT deployment.")
@@ -134,12 +164,12 @@ let tables_cmd =
       t2
   in
   Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1 and 2.")
-    Term.(const run $ const ())
+    (with_metrics (Term.const run))
 
 (* --- optimize ------------------------------------------------------- *)
 
 let optimize_cmd =
-  let run target_nines =
+  let run target_nines () =
     let target = Prob.Nines.to_prob target_nines in
     Format.printf "target: %s safe-and-live@." (Prob.Nines.percent_string target);
     List.iter
@@ -155,7 +185,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Min-cost deployment for a reliability target.")
-    Term.(const run $ target_nines_arg)
+    (with_metrics Term.(const run $ target_nines_arg))
 
 (* --- markov --------------------------------------------------------- *)
 
@@ -166,7 +196,7 @@ let markov_cmd =
   let mttr_arg =
     Arg.(value & opt float 24. & info [ "mttr" ] ~docv:"H" ~doc:"Node repair time, hours.")
   in
-  let run n afr mttr =
+  let run n afr mttr () =
     let quorum = (n / 2) + 1 in
     let spec = Markov.Repair_model.of_afr ~n ~quorum ~afr ~mttr_hours:mttr in
     Format.printf "n=%d quorum=%d afr=%g mttr=%gh@." n quorum afr mttr;
@@ -178,7 +208,7 @@ let markov_cmd =
   in
   Cmd.v
     (Cmd.info "markov" ~doc:"Storage-style MTTF/MTTDL/availability of a cluster.")
-    Term.(const run $ n_arg $ afr_arg $ mttr_arg)
+    (with_metrics Term.(const run $ n_arg $ afr_arg $ mttr_arg))
 
 (* --- simulate ------------------------------------------------------- *)
 
@@ -197,7 +227,7 @@ let simulate_cmd =
   let commands_arg =
     Arg.(value & opt int 10 & info [ "commands" ] ~docv:"K" ~doc:"Client commands.")
   in
-  let run proto n seed crash byz commands_count =
+  let run proto n seed crash byz commands_count () =
     let commands = List.init commands_count (fun i -> 1000 + i) in
     let all = List.init n Fun.id in
     let failed = crash @ byz in
@@ -230,14 +260,15 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute a Raft or PBFT cluster under fault injection and check it.")
-    Term.(
-      const run $ protocol_arg $ n_arg $ seed_arg $ crash_arg $ byz_arg
-      $ commands_arg)
+    (with_metrics
+       Term.(
+         const run $ protocol_arg $ n_arg $ seed_arg $ crash_arg $ byz_arg
+         $ commands_arg))
 
 (* --- committee ------------------------------------------------------ *)
 
 let committee_cmd =
-  let run target_nines seed =
+  let run target_nines seed () =
     let target = Prob.Nines.to_prob target_nines in
     let fleet = Faultmodel.Fleet.mixed [ (4, 0.005); (10, 0.02); (6, 0.08) ] in
     Format.printf "fleet: 4 at p=0.5%%, 10 at p=2%%, 6 at p=8%%; target %s@."
@@ -254,7 +285,7 @@ let committee_cmd =
   in
   Cmd.v
     (Cmd.info "committee" ~doc:"Committee sampling for a reliability target.")
-    Term.(const run $ target_nines_arg $ seed_arg)
+    (with_metrics Term.(const run $ target_nines_arg $ seed_arg))
 
 (* --- benor ----------------------------------------------------------- *)
 
@@ -265,7 +296,7 @@ let benor_cmd =
       & info [ "common-coin" ] ~docv:"SEED"
           ~doc:"Use a shared per-round coin with this seed (O(1) expected rounds).")
   in
-  let run n seed common_coin =
+  let run n seed common_coin () =
     let initial = List.init n (fun i -> i mod 2) in
     let cluster =
       Benor_sim.Benor_cluster.create ~seed ?common_coin ~initial_values:initial ()
@@ -284,7 +315,7 @@ let benor_cmd =
   in
   Cmd.v
     (Cmd.info "benor" ~doc:"Run Ben-Or randomized consensus with split inputs.")
-    Term.(const run $ n_arg $ seed_arg $ coin_arg)
+    (with_metrics Term.(const run $ n_arg $ seed_arg $ coin_arg))
 
 (* --- mixed ----------------------------------------------------------- *)
 
@@ -294,7 +325,7 @@ let mixed_cmd =
       value & opt float 0.0025
       & info [ "byz-fraction" ] ~docv:"F" ~doc:"Fraction of faults that are Byzantine.")
   in
-  let run n p byz_fraction =
+  let run n p byz_fraction () =
     let fleet = Faultmodel.Fleet.uniform ~byz_fraction ~n ~p () in
     Format.printf "n=%d, fault probability %g, Byzantine fraction %g:@." n p byz_fraction;
     List.iter
@@ -308,7 +339,7 @@ let mixed_cmd =
   Cmd.v
     (Cmd.info "mixed"
        ~doc:"Compare Raft, PBFT and dual-threshold Upright under mixed faults.")
-    Term.(const run $ n_arg $ p_arg $ byz_fraction_arg)
+    (with_metrics Term.(const run $ n_arg $ p_arg $ byz_fraction_arg))
 
 (* --- endtoend --------------------------------------------------------- *)
 
@@ -326,7 +357,7 @@ let endtoend_cmd =
       value & opt float 87660.
       & info [ "mission-hours" ] ~docv:"H" ~doc:"Mission duration (default 10 years).")
   in
-  let run n afr failover_hours mission_hours =
+  let run n afr failover_hours mission_hours () =
     let quorum = (n / 2) + 1 in
     let spec = Markov.Repair_model.of_afr ~n ~quorum ~afr ~mttr_hours:24. in
     let t = Probcons.End_to_end.evaluate ~spec ~failover_hours ~mission_hours in
@@ -337,7 +368,7 @@ let endtoend_cmd =
   in
   Cmd.v
     (Cmd.info "endtoend" ~doc:"End-to-end availability/durability SLO evaluation.")
-    Term.(const run $ n_arg $ afr_arg $ failover_arg $ mission_arg)
+    (with_metrics Term.(const run $ n_arg $ afr_arg $ failover_arg $ mission_arg))
 
 (* --- bounds ------------------------------------------------------------ *)
 
@@ -345,7 +376,7 @@ let bounds_cmd =
   let k_arg =
     Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Tail threshold: P(X >= K).")
   in
-  let run n p k =
+  let run n p k () =
     let c = Prob.Bounds.compare_tail ~n ~p ~k in
     Format.printf "P(X >= %d), X ~ Binomial(%d, %g):@." k n p;
     Format.printf "  exact       %.3e@." c.Prob.Bounds.exact;
@@ -356,7 +387,7 @@ let bounds_cmd =
   in
   Cmd.v
     (Cmd.info "bounds" ~doc:"Exact binomial tail vs Chernoff/Hoeffding bounds.")
-    Term.(const run $ n_arg $ p_arg $ k_arg)
+    (with_metrics Term.(const run $ n_arg $ p_arg $ k_arg))
 
 (* --- sweep ------------------------------------------------------------- *)
 
@@ -375,7 +406,7 @@ let sweep_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
-  let run kind csv =
+  let run kind csv () =
     let ns = [ 3; 5; 7; 9; 11 ] and ps = [ 0.005; 0.01; 0.02; 0.04; 0.08 ] in
     let table =
       match kind with
@@ -393,12 +424,12 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Reliability grids across cluster sizes and fault rates.")
-    Term.(const run $ kind_arg $ csv_arg)
+    (with_metrics Term.(const run $ kind_arg $ csv_arg))
 
 (* --- plan -------------------------------------------------------------- *)
 
 let plan_cmd =
-  let run target_nines mix seed =
+  let run target_nines mix seed () =
     let fleet =
       if mix = [] then Faultmodel.Fleet.mixed [ (3, 0.001); (8, 0.02); (5, 0.10) ]
       else Faultmodel.Fleet.mixed mix
@@ -418,7 +449,7 @@ let plan_cmd =
        ~doc:
          "Plan a probability-native deployment (committee, quorums, leader order) \
           and execute it once on the simulator.")
-    Term.(const run $ target_nines_arg $ mix_arg $ seed_arg)
+    (with_metrics Term.(const run $ target_nines_arg $ mix_arg $ seed_arg))
 
 let main_cmd =
   let doc = "probabilistic consensus reliability toolkit" in

@@ -1,6 +1,10 @@
 open Benor_types
 module IntMap = Map.Make (Int)
 
+(* Typed run telemetry; [Trace] stays the source of truth for checkers. *)
+let m_decisions = Obs.Metrics.counter ~family:"protocol" "benor.decisions"
+let m_rounds = Obs.Metrics.counter ~family:"protocol" "benor.rounds"
+
 type config = { id : int; n : int; f : int; max_rounds : int; common_coin : int option }
 
 let default_config ~id ~n =
@@ -119,6 +123,7 @@ and try_advance t =
             t.decision <- Some v;
             t.decided_round <- Some t.round;
             record t "decide" (Printf.sprintf "round=%d value=%d" t.round v);
+            Obs.Metrics.incr m_decisions;
             if not t.announced then begin
               t.announced <- true;
               Dessim.Network.broadcast t.net ~src:t.config.id (Decided { value = v })
@@ -140,6 +145,7 @@ and try_advance t =
             else if supports.(1) >= 1 then t.value <- 1
             else t.value <- coin ();
             t.round <- t.round + 1;
+            Obs.Metrics.incr m_rounds;
             start_report_phase t
           end
         end
@@ -157,6 +163,7 @@ let handle_message t ~src:_ msg =
           t.decision <- Some value;
           t.decided_round <- Some t.round;
           record t "decide" (Printf.sprintf "round=%d value=%d adopted" t.round value);
+          Obs.Metrics.incr m_decisions;
           if not t.announced then begin
             t.announced <- true;
             Dessim.Network.broadcast t.net ~src:t.config.id (Decided { value })

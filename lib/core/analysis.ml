@@ -1,3 +1,17 @@
+(* Counter totals must not depend on how many domains executed the
+   chunks: everything below is incremented per-chunk or per-config with
+   chunk boundaries fixed by [Parallel.Chunked], so 1-domain and
+   N-domain runs merge to identical totals. *)
+let m_runs = Obs.Metrics.counter ~family:"analysis" "runs"
+let m_configs = Obs.Metrics.counter ~family:"analysis" "configs_evaluated"
+let m_chunks = Obs.Metrics.counter ~family:"analysis" "chunks"
+let m_chunk_seconds = Obs.Metrics.histogram ~family:"analysis" "chunk_seconds"
+let m_workers = Obs.Metrics.gauge ~family:"analysis" "workers"
+let m_mc_trials = Obs.Metrics.counter ~family:"analysis" "mc_trials"
+let m_mc_safe = Obs.Metrics.counter ~family:"analysis" "mc_safe_hits"
+let m_mc_live = Obs.Metrics.counter ~family:"analysis" "mc_live_hits"
+let m_mc_both = Obs.Metrics.counter ~family:"analysis" "mc_both_hits"
+
 type strategy =
   | Auto
   | Count_dp
@@ -73,6 +87,7 @@ let run_count_dp (protocol : Protocol.t) ~crash_probs ~byz_probs =
    by Chunked, so the totals are bit-identical across domain counts. *)
 let eval_range (protocol : Protocol.t) ~crash_probs ~byz_probs iter_range ~lo ~hi =
   let open Prob.Math_utils in
+  let span = Obs.Span.start m_chunk_seconds in
   let s = ref kahan_zero and l = ref kahan_zero and b = ref kahan_zero in
   iter_range ~lo ~hi (fun config ->
       let p = Config.probability ~crash_probs ~byz_probs config in
@@ -82,6 +97,9 @@ let eval_range (protocol : Protocol.t) ~crash_probs ~byz_probs iter_range ~lo ~h
         if live then l := kahan_add !l p;
         if safe && live then b := kahan_add !b p
       end);
+  Obs.Metrics.incr m_chunks;
+  Obs.Metrics.add m_configs (hi - lo);
+  Obs.Span.stop span;
   (kahan_total !s, kahan_total !l, kahan_total !b)
 
 let run_enumeration ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs =
@@ -108,6 +126,7 @@ let run_enumeration ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs =
     Parallel.Pool.effective ?domains
       ~tasks:(min Parallel.Chunked.default_chunks total) ()
   in
+  Obs.Metrics.set m_workers workers;
   let p_safe, p_live, p_both =
     Parallel.Chunked.sum3 ?domains ~total (fun ~chunk:_ ~lo ~hi ->
         eval_range protocol ~crash_probs ~byz_probs iter_range ~lo ~hi)
@@ -135,6 +154,7 @@ let mc_result (protocol : Protocol.t) ~engine ~trials (safe_hits, live_hits, bot
    trial count, never on how many domains executed the chunks. *)
 let mc_chunked ?domains ~trials ~seed sample_outcome =
   Parallel.Chunked.count3 ?domains ~total:trials (fun ~chunk ~lo ~hi ->
+      let span = Obs.Span.start m_chunk_seconds in
       let rng = Prob.Rng.of_pair seed chunk in
       let safe_hits = ref 0 and live_hits = ref 0 and both_hits = ref 0 in
       for _ = lo to hi - 1 do
@@ -143,10 +163,19 @@ let mc_chunked ?domains ~trials ~seed sample_outcome =
         if live then incr live_hits;
         if safe && live then incr both_hits
       done;
+      Obs.Metrics.incr m_chunks;
+      Obs.Metrics.add m_mc_trials (hi - lo);
+      Obs.Metrics.add m_mc_safe !safe_hits;
+      Obs.Metrics.add m_mc_live !live_hits;
+      Obs.Metrics.add m_mc_both !both_hits;
+      Obs.Span.stop span;
       (!safe_hits, !live_hits, !both_hits))
 
 let run_monte_carlo ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs
     ~trials ~seed =
+  Obs.Metrics.set m_workers
+    (Parallel.Pool.effective ?domains
+       ~tasks:(min Parallel.Chunked.default_chunks trials) ());
   let hits =
     mc_chunked ?domains ~trials ~seed (fun rng ->
         let config = Config.sample ~crash_probs ~byz_probs rng in
@@ -165,6 +194,7 @@ let run ?at ?(strategy = Auto) ?(seed = 42) ?domains (protocol : Protocol.t) fle
     invalid_arg
       (Printf.sprintf "Analysis.run: fleet size %d but protocol expects %d" n
          protocol.n);
+  Obs.Metrics.incr m_runs;
   let crash_probs = Faultmodel.Fleet.crash_probs ?at fleet in
   let byz_probs = Faultmodel.Fleet.byz_probs ?at fleet in
   let has_counts =
@@ -190,6 +220,10 @@ let run_correlated ?at ?(trials = 200_000) ?(seed = 42) ?domains model
   let n = Faultmodel.Fleet.size fleet in
   if n <> protocol.n then
     invalid_arg "Analysis.run_correlated: fleet size mismatch";
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.set m_workers
+    (Parallel.Pool.effective ?domains
+       ~tasks:(min Parallel.Chunked.default_chunks trials) ());
   let hits =
     mc_chunked ?domains ~trials ~seed (fun rng ->
         let kinds = Faultmodel.Correlation.sample_kinds model fleet ?at rng in

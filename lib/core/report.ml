@@ -65,3 +65,23 @@ let print ?title t =
 
 let cell_percent p = Prob.Nines.percent_string p
 let cell_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let metrics_table snapshot =
+  let t =
+    create ~header:[ "family"; "metric"; "kind"; "value"; "p50"; "p90"; "p99"; "max" ]
+  in
+  let g v = Printf.sprintf "%.4g" v in
+  List.iter
+    (fun (s : Obs.Metrics.sample) ->
+      let row =
+        match s.value with
+        | Obs.Metrics.Counter v ->
+            [ s.family; s.name; "counter"; string_of_int v ]
+        | Obs.Metrics.Gauge v -> [ s.family; s.name; "gauge"; string_of_int v ]
+        | Obs.Metrics.Histogram h ->
+            [ s.family; s.name; "histogram"; Printf.sprintf "n=%d" h.count;
+              g h.p50; g h.p90; g h.p99; g h.max ]
+      in
+      add_row t row)
+    snapshot;
+  t

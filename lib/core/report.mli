@@ -25,3 +25,7 @@ val cell_percent : float -> string
 (** Probability formatted the way the paper's tables print it. *)
 
 val cell_float : ?decimals:int -> float -> string
+
+val metrics_table : Obs.Metrics.snapshot -> t
+(** Pretty-printable summary of a metrics snapshot: one row per
+    sample; histograms show count and p50/p90/p99/max columns. *)

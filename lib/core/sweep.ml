@@ -1,5 +1,14 @@
 let pct = Prob.Nines.percent_string
 
+let m_cells = Obs.Metrics.counter ~family:"sweep" "cells"
+let m_cell_seconds = Obs.Metrics.histogram ~family:"sweep" "cell_seconds"
+
+(* Every sweep row/cell funnels through this, so cells/sec is just
+   [cells / Σ cell_seconds] from one snapshot. *)
+let timed_cell f =
+  Obs.Metrics.incr m_cells;
+  Obs.Span.time m_cell_seconds f
+
 (* Grid cells are independent Analysis.run instances: evaluate the
    flattened (row, col) cell list on the domain pool and reassemble the
    table in order. Cells force ~domains:1 on their inner analysis — the
@@ -10,7 +19,7 @@ let grid_cells ?domains ~rows ~cols cell =
   let rows_a = Array.of_list rows and cols_a = Array.of_list cols in
   let flat =
     Parallel.Pool.map ?domains (n_rows * n_cols) (fun i ->
-        cell rows_a.(i / n_cols) cols_a.(i mod n_cols))
+        timed_cell (fun () -> cell rows_a.(i / n_cols) cols_a.(i mod n_cols)))
   in
   List.init n_rows (fun r ->
       List.init n_cols (fun c -> flat.((r * n_cols) + c)))
@@ -45,6 +54,7 @@ let pbft_safety_liveness_grid ?domains ~ns ~p () =
   let t = Report.create ~header:[ "N"; "safe"; "live"; "safe&live"; "safe-or-accountable" ] in
   let rows =
     Parallel.Pool.map ?domains (List.length ns) (fun i ->
+        timed_cell @@ fun () ->
         let n = List.nth ns i in
         let params = Pbft_model.default n in
         let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
@@ -69,6 +79,7 @@ let timeline ?domains fleet ~times =
   let t = Report.create ~header:[ "mission time (h)"; "safe&live"; "nines" ] in
   let rows =
     Parallel.Pool.map ?domains (List.length times) (fun i ->
+        timed_cell @@ fun () ->
         let at = List.nth times i in
         let r = Analysis.run ~at ~domains:1 proto fleet in
         [

@@ -1,0 +1,41 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer is zero-dependency by design, so it carries
+    its own JSON support: enough to write metric snapshots, embed them
+    in the bench's [--json] artifact, and parse them back for schema
+    validation and round-trip tests. Not a general-purpose JSON library
+    — numbers are OCaml [int]/[float], strings are assumed UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val number : float -> t
+(** [Float v], except non-finite values (which JSON cannot represent)
+    become [Null]. *)
+
+val to_string : t -> string
+(** Compact single-line rendering. Floats print with ["%.17g"] so they
+    round-trip bit-exactly through {!of_string}; integral floats may
+    re-parse as [Int] (use {!to_float} when consuming numbers). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed). [Error]
+    carries a message with a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or when the value is not [Obj]. *)
+
+val to_float : t -> float option
+(** Numeric accessor accepting both [Int] and [Float]. *)
+
+val to_int : t -> int option
+(** [Int], or a [Float] that is an exact integer. *)
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option

@@ -1,0 +1,15 @@
+(* t0 < 0 marks a span started while the registry was off; stop on
+   such a span is a no-op even if metrics were enabled in between,
+   which keeps recorded durations honest. *)
+type t = { h : Metrics.histogram; t0 : float }
+
+let start h =
+  if Metrics.live h then { h; t0 = Unix.gettimeofday () } else { h; t0 = -1. }
+
+let stop span =
+  if span.t0 >= 0. && Metrics.live span.h then
+    Metrics.observe span.h (Unix.gettimeofday () -. span.t0)
+
+let time h f =
+  let span = start h in
+  Fun.protect ~finally:(fun () -> stop span) f

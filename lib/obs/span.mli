@@ -1,0 +1,19 @@
+(** Wall-clock spans feeding a histogram of elapsed seconds.
+
+    A span reads the clock only when its histogram is {!Metrics.live},
+    so instrumented code pays one branch when metrics are off. Spans
+    are plain values — store one per lexical scope or per worker lane;
+    they are not reentrant. *)
+
+type t
+
+val start : Metrics.histogram -> t
+(** Begin timing into [h]. When the registry is disabled this records
+    nothing and {!stop} is free. *)
+
+val stop : t -> unit
+(** Record elapsed seconds since {!start} into the histogram. *)
+
+val time : Metrics.histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f ()] inside a span; the elapsed time is recorded
+    even if [f] raises. *)

@@ -2,6 +2,10 @@
    including the main one; stay comfortably below. *)
 let max_workers = 126
 
+let m_maps = Obs.Metrics.counter ~family:"parallel" "maps"
+let m_tasks = Obs.Metrics.counter ~family:"parallel" "tasks"
+let m_lane_busy = Obs.Metrics.histogram ~family:"parallel" "lane_busy_seconds"
+
 (* Worker domains must never spawn further domains: a nested analysis
    (e.g. Analysis.run inside a Sweep cell) degrades to sequential
    instead of oversubscribing or hitting the runtime's domain cap. *)
@@ -33,12 +37,15 @@ let effective ?domains ~tasks () =
 
 let map ?domains n f =
   let workers = effective ?domains ~tasks:n () in
-  if workers <= 1 then Array.init n f
+  Obs.Metrics.incr m_maps;
+  Obs.Metrics.add m_tasks n;
+  if workers <= 1 then Obs.Span.time m_lane_busy (fun () -> Array.init n f)
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let work () =
+      let span = Obs.Span.start m_lane_busy in
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
@@ -47,7 +54,8 @@ let map ?domains n f =
           match f i with
           | v -> results.(i) <- Some v
           | exception e -> ignore (Atomic.compare_and_set failure None (Some e))
-      done
+      done;
+      Obs.Span.stop span
     in
     let spawned =
       List.init (workers - 1) (fun _ ->

@@ -1,6 +1,12 @@
 open Pbft_types
 module IntSet = Set.Make (Int)
 
+(* Typed run telemetry; [Trace] stays the source of truth for checkers. *)
+let m_commits = Obs.Metrics.counter ~family:"protocol" "pbft.commits"
+let m_view_changes = Obs.Metrics.counter ~family:"protocol" "pbft.view_changes"
+let m_new_views = Obs.Metrics.counter ~family:"protocol" "pbft.new_views"
+let m_byz_actions = Obs.Metrics.counter ~family:"protocol" "pbft.byzantine_actions"
+
 type config = {
   id : int;
   n : int;
@@ -149,6 +155,7 @@ and join_view_change t v' =
     t.target_view <- max v' t.target_view;
     let prepared = Hashtbl.fold (fun _ cert acc -> cert :: acc) t.prepared_certs [] in
     record t "view-change" (Printf.sprintf "target=%d" t.target_view);
+    Obs.Metrics.incr m_view_changes;
     let message =
       View_change { new_view = t.target_view; replica = t.config.id; prepared }
     in
@@ -222,6 +229,7 @@ and become_primary t new_view =
     | None -> pre_prepares := (seq, noop_command) :: !pre_prepares
   done;
   record t "new-view" (Printf.sprintf "view=%d slots=%d" new_view max_seq);
+  Obs.Metrics.incr m_new_views;
   Dessim.Network.broadcast t.net ~src:t.config.id
     (New_view { view = new_view; pre_prepares = !pre_prepares });
   enter_view t new_view;
@@ -250,6 +258,7 @@ and assign_seq t command =
     Hashtbl.replace t.assigned command ();
     record t "pre-prepare" (Printf.sprintf "seq=%d cmd=%d" seq command);
     if t.byz then begin
+      Obs.Metrics.incr m_byz_actions;
       (* Equivocating primary: half the replicas see a corrupted
          command for the same slot. *)
       for dst = 0 to t.config.n - 1 do
@@ -299,6 +308,7 @@ and check_prepared t ~view ~seq =
         | Some _ | None ->
             Hashtbl.replace t.prepared_certs seq { seq; view; command });
         record t "prepared" (Printf.sprintf "view=%d seq=%d cmd=%d" view seq command);
+        if t.byz then Obs.Metrics.incr m_byz_actions;
         let my_command = if t.byz then corrupted command else command in
         Dessim.Network.broadcast t.net ~src:t.config.id
           (Commit { view; seq; command = my_command; replica = t.config.id });
@@ -315,6 +325,7 @@ and check_committed t ~view ~seq =
       if votes >= t.config.q_per && not (Hashtbl.mem t.committed seq) then begin
         Hashtbl.replace t.committed seq command;
         record t "commit" (Printf.sprintf "view=%d seq=%d cmd=%d" view seq command);
+        Obs.Metrics.incr m_commits;
         try_execute t;
         if Hashtbl.length t.pending = 0 then cancel_vc_timer t else restart_vc_timer t
       end
@@ -447,6 +458,7 @@ let rec schedule_spam t =
       Some
         (Dessim.Engine.schedule t.engine ~delay:t.config.byz_spam_interval (fun () ->
              if t.byz && not t.down then begin
+               Obs.Metrics.incr m_byz_actions;
                (* Vote stuffing: lobby for an unnecessary view change. *)
                Dessim.Network.broadcast t.net ~src:t.config.id
                  (View_change

@@ -1,5 +1,10 @@
 open Rabia_types
 
+(* Typed run telemetry; [Trace] stays the source of truth for checkers. *)
+let m_commits = Obs.Metrics.counter ~family:"protocol" "rabia.commits"
+let m_null_commits = Obs.Metrics.counter ~family:"protocol" "rabia.null_commits"
+let m_decisions = Obs.Metrics.counter ~family:"protocol" "rabia.decisions"
+
 type config = {
   id : int;
   n : int;
@@ -141,15 +146,20 @@ and try_advance_slot t =
   match Hashtbl.find_opt t.decisions t.slot with
   | Some (0, _) ->
       record t "commit-null" (Printf.sprintf "slot=%d" t.slot);
+      Obs.Metrics.incr m_null_commits;
       t.slot <- t.slot + 1;
       try_advance_slot t
   | Some (1, Some c) ->
       if c <> null_command && not (Hashtbl.mem t.committed_set c) then begin
         Hashtbl.replace t.committed_set c ();
         Dessim.Vec.push t.log c;
-        record t "commit" (Printf.sprintf "slot=%d cmd=%d" t.slot c)
+        record t "commit" (Printf.sprintf "slot=%d cmd=%d" t.slot c);
+        Obs.Metrics.incr m_commits
       end
-      else if c = null_command then record t "commit-null" (Printf.sprintf "slot=%d" t.slot);
+      else if c = null_command then begin
+        record t "commit-null" (Printf.sprintf "slot=%d" t.slot);
+        Obs.Metrics.incr m_null_commits
+      end;
       (* Drop the command from our own queue if we were holding it. *)
       if Hashtbl.mem t.pending_set c then begin
         let keep = Queue.create () in
@@ -275,10 +285,12 @@ and check_votes t ~slot =
       let threshold = t.config.f + 1 in
       if supports.(1) >= threshold then begin
         record t "decide" (Printf.sprintf "slot=%d value=1 round=%d" slot s.round);
+        Obs.Metrics.incr m_decisions;
         note_decision t ~slot ~value:1 ~command:s.candidate
       end
       else if supports.(0) >= threshold then begin
         record t "decide" (Printf.sprintf "slot=%d value=0 round=%d" slot s.round);
+        Obs.Metrics.incr m_decisions;
         note_decision t ~slot ~value:0 ~command:None
       end
       else begin

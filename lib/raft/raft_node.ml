@@ -1,5 +1,11 @@
 open Raft_types
 
+(* Typed run telemetry; [Trace] stays the source of truth for checkers. *)
+let m_elections = Obs.Metrics.counter ~family:"protocol" "raft.elections"
+let m_leader_elections = Obs.Metrics.counter ~family:"protocol" "raft.leader_elections"
+let m_commits = Obs.Metrics.counter ~family:"protocol" "raft.commits"
+let m_step_downs = Obs.Metrics.counter ~family:"protocol" "raft.step_downs"
+
 type config = {
   id : int;
   n : int;
@@ -149,6 +155,7 @@ and start_election t =
   t.voted_for <- Some t.config.id;
   t.votes <- [ t.config.id ];
   record t "candidate" (Printf.sprintf "term=%d" t.term);
+  Obs.Metrics.incr m_elections;
   Dessim.Network.broadcast t.net ~src:t.config.id
     (Request_vote
        {
@@ -170,6 +177,7 @@ and maybe_win_election t =
 and become_leader t =
   t.role <- Leader;
   record t "become-leader" (Printf.sprintf "term=%d" t.term);
+  Obs.Metrics.incr m_leader_elections;
   cancel_election_timer t;
   Array.fill t.next_index 0 t.config.n (last_log_index t + 1);
   Array.fill t.match_index 0 t.config.n 0;
@@ -227,6 +235,7 @@ and maybe_advance_commit t =
   done;
   if !advanced then begin
     record t "commit" (Printf.sprintf "index=%d term=%d" t.commit_index t.term);
+    Obs.Metrics.incr m_commits;
     apply_committed t
   end
 
@@ -235,7 +244,10 @@ let step_down t new_term =
     t.term <- new_term;
     t.voted_for <- None
   end;
-  if t.role <> Follower then record t "step-down" (Printf.sprintf "term=%d" t.term);
+  if t.role <> Follower then begin
+    record t "step-down" (Printf.sprintf "term=%d" t.term);
+    Obs.Metrics.incr m_step_downs
+  end;
   t.role <- Follower;
   cancel_heartbeat_timer t;
   reset_election_timer t

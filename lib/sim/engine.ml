@@ -1,3 +1,6 @@
+let m_events = Obs.Metrics.counter ~family:"engine" "events_executed"
+let m_queue_depth = Obs.Metrics.gauge ~family:"engine" "queue_depth"
+
 type event = { callback : unit -> unit; mutable cancelled : bool }
 
 type cancel = event
@@ -44,6 +47,8 @@ let run ?(until = infinity) ?(max_events = 10_000_000) t =
               t.clock <- Float.max t.clock time;
               if not event.cancelled then begin
                 t.executed <- t.executed + 1;
+                Obs.Metrics.incr m_events;
+                Obs.Metrics.set m_queue_depth (Event_queue.size t.queue);
                 event.callback ()
               end;
               loop ())

@@ -26,13 +26,29 @@ let of_failed_nodes ?(byzantine = false) ?(at = 0.) nodes =
     (fun node -> (node, if byzantine then Byzantine_from at else Crash_at at))
     nodes
 
+type outcome = Goes_byzantine | Crashes | Stays_correct
+
+(* One uniform roll per node, partitioned [0, pb) ∪ [pb, pb+pc) ∪ rest.
+   Byzantine occupies the low band, so when pb + pc > 1 (both faults
+   "certain") the Byzantine outcome wins — the more adversarial fault
+   takes precedence, and the node gets exactly one fault. One roll per
+   node regardless of outcome keeps the rng stream aligned with
+   [Faultmodel.Config.sample]. *)
+let sample_outcome rng ~pb ~pc =
+  let roll = Prob.Rng.float rng in
+  if roll < pb then Goes_byzantine
+  else if roll < pb +. pc then Crashes
+  else Stays_correct
+
 let sample_plan ?(byz_at = 0.) ?(crash_at = 0.) rng ~crash_probs ~byz_probs =
+  if Array.length crash_probs <> Array.length byz_probs then
+    invalid_arg "Fault_injector.sample_plan: probability arrays differ in length";
   let plan = ref [] in
   Array.iteri
     (fun u pc ->
-      let pb = byz_probs.(u) in
-      let roll = Prob.Rng.float rng in
-      if roll < pb then plan := (u, Byzantine_from byz_at) :: !plan
-      else if roll < pb +. pc then plan := (u, Crash_at crash_at) :: !plan)
+      match sample_outcome rng ~pb:byz_probs.(u) ~pc with
+      | Goes_byzantine -> plan := (u, Byzantine_from byz_at) :: !plan
+      | Crashes -> plan := (u, Crash_at crash_at) :: !plan
+      | Stays_correct -> ())
     crash_probs;
   List.rev !plan

@@ -37,4 +37,14 @@ val sample_plan :
   plan
 (** Draw a configuration from per-node probabilities: each node
     independently becomes Byzantine (probability [byz_probs.(u)]),
-    crashes ([crash_probs.(u)]), or stays correct. *)
+    crashes ([crash_probs.(u)]), or stays correct.
+
+    {b Precedence}: the two outcomes are drawn from a single uniform
+    roll per node with the Byzantine band first, so a node never
+    receives both faults and {e Byzantine wins} whenever the combined
+    probability mass exceeds 1 (e.g. both probabilities forced to 1.0
+    yield an all-Byzantine plan). Effective crash probability is
+    [min crash_probs.(u) (1 -. byz_probs.(u))]. Exactly one rng draw is
+    consumed per node regardless of outcome.
+
+    Raises [Invalid_argument] if the arrays differ in length. *)

@@ -1,3 +1,8 @@
+let m_sent = Obs.Metrics.counter ~family:"engine" "messages_sent"
+let m_dropped = Obs.Metrics.counter ~family:"engine" "messages_dropped"
+let m_delivered = Obs.Metrics.counter ~family:"engine" "messages_delivered"
+let m_latency = Obs.Metrics.histogram ~family:"engine" "message_latency"
+
 type latency =
   | Fixed of float
   | Uniform of { lo : float; hi : float }
@@ -54,14 +59,22 @@ let send t ~src ~dst msg =
   check_node t src;
   check_node t dst;
   t.sent <- t.sent + 1;
-  if not (t.down.(src) || Prob.Rng.bool t.rng t.drop_probability) then begin
+  Obs.Metrics.incr m_sent;
+  (* The short-circuit mirrors the pre-instrumentation code exactly: a
+     down sender consumes no rng draw, so traces stay bit-identical for
+     a fixed seed whether or not metrics are enabled. *)
+  if t.down.(src) || Prob.Rng.bool t.rng t.drop_probability then
+    Obs.Metrics.incr m_dropped
+  else begin
     let delay = sample_latency t in
+    Obs.Metrics.observe m_latency delay;
     ignore
       (Engine.schedule t.engine ~delay (fun () ->
            if (not t.down.(dst)) && not (blocked t ~src ~dst) then begin
              match t.handlers.(dst) with
              | Some handler ->
                  t.delivered <- t.delivered + 1;
+                 Obs.Metrics.incr m_delivered;
                  handler ~src msg
              | None -> ()
            end))

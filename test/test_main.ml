@@ -16,5 +16,6 @@ let () =
       ("benor", Test_benor.suite);
       ("properties", Test_properties.suite);
       ("rabia", Test_rabia.suite);
+      ("obs", Test_obs.suite);
       ("cli", Test_cli.suite);
     ]

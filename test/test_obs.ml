@@ -1,0 +1,204 @@
+(* Tests for the observability layer: metrics registry semantics,
+   histogram percentile accuracy, snapshot JSON round-trips, and the
+   domain-sharding merge invariant. *)
+
+open Probcons
+
+let find_exn snap ~family ~name =
+  match Obs.Metrics.find snap ~family ~name with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s/%s missing from snapshot" family name
+
+let counter_value = function
+  | Obs.Metrics.Counter n -> n
+  | _ -> Alcotest.fail "expected counter"
+
+let gauge_value = function
+  | Obs.Metrics.Gauge n -> n
+  | _ -> Alcotest.fail "expected gauge"
+
+let hist_value = function
+  | Obs.Metrics.Histogram h -> h
+  | _ -> Alcotest.fail "expected histogram"
+
+(* --- Registry basics ------------------------------------------------------- *)
+
+let test_counter_and_gauge () =
+  let r = Obs.Metrics.create ~enabled:true () in
+  let c = Obs.Metrics.counter ~registry:r ~family:"t" "hits" in
+  let g = Obs.Metrics.gauge ~registry:r ~family:"t" "depth" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 41;
+  Obs.Metrics.set g 7;
+  Obs.Metrics.set g 3;
+  let snap = Obs.Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "counter sums" 42
+    (counter_value (find_exn snap ~family:"t" ~name:"hits"));
+  (* Within a shard a gauge is last-write-wins; the max-over-shards
+     merge only arbitrates between domains. *)
+  Alcotest.(check int)
+    "gauge keeps last written value" 3
+    (gauge_value (find_exn snap ~family:"t" ~name:"depth"));
+  (* Re-requesting the same metric returns the same cell. *)
+  let c' = Obs.Metrics.counter ~registry:r ~family:"t" "hits" in
+  Obs.Metrics.incr c';
+  let snap = Obs.Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "idempotent registration" 43
+    (counter_value (find_exn snap ~family:"t" ~name:"hits"));
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics.gauge: t.hits already registered as a counter")
+    (fun () -> ignore (Obs.Metrics.gauge ~registry:r ~family:"t" "hits"))
+
+let test_disabled_registry_records_nothing () =
+  let r = Obs.Metrics.create ~enabled:false () in
+  let c = Obs.Metrics.counter ~registry:r ~family:"t" "hits" in
+  let h = Obs.Metrics.histogram ~registry:r ~family:"t" "lat" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.observe h 1.5;
+  Alcotest.(check bool) "histogram reports dead" false (Obs.Metrics.live h);
+  let snap = Obs.Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "counter untouched" 0
+    (counter_value (find_exn snap ~family:"t" ~name:"hits"));
+  Alcotest.(check int) "histogram untouched" 0
+    (hist_value (find_exn snap ~family:"t" ~name:"lat")).count;
+  Obs.Metrics.set_enabled ~registry:r true;
+  Obs.Metrics.incr c;
+  let snap = Obs.Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "records after enable" 1
+    (counter_value (find_exn snap ~family:"t" ~name:"hits"))
+
+(* --- Histogram accuracy ---------------------------------------------------- *)
+
+let test_histogram_percentiles () =
+  let r = Obs.Metrics.create ~enabled:true () in
+  let h = Obs.Metrics.histogram ~registry:r ~family:"t" "lat" in
+  for v = 1 to 1000 do
+    Obs.Metrics.observe h (float_of_int v)
+  done;
+  let s = hist_value (find_exn (Obs.Metrics.snapshot ~registry:r ()) ~family:"t" ~name:"lat") in
+  Alcotest.(check int) "count" 1000 s.count;
+  (* Every summary statistic is reconstructed from bucket
+     representatives; quarter-power-of-two buckets guarantee
+     <= 2^(1/8)-1 ~ 9% relative error. Check against exact answers. *)
+  let rel_ok name got expect =
+    let rel = Float.abs (got -. expect) /. expect in
+    if rel > 0.10 then
+      Alcotest.failf "%s: %g vs exact %g (rel err %.3f)" name got expect rel
+  in
+  rel_ok "min" s.min 1.;
+  rel_ok "max" s.max 1000.;
+  rel_ok "sum" s.sum 500500.;
+  rel_ok "p50" s.p50 500.;
+  rel_ok "p90" s.p90 900.;
+  rel_ok "p99" s.p99 990.
+
+let test_histogram_extremes () =
+  let r = Obs.Metrics.create ~enabled:true () in
+  let h = Obs.Metrics.histogram ~registry:r ~family:"t" "lat" in
+  Obs.Metrics.observe h 0.;
+  Obs.Metrics.observe h (-3.);
+  Obs.Metrics.observe h Float.nan;
+  Obs.Metrics.observe h 1e40;
+  Obs.Metrics.observe h 1e-40;
+  let s = hist_value (find_exn (Obs.Metrics.snapshot ~registry:r ()) ~family:"t" ~name:"lat") in
+  Alcotest.(check int) "all observations bucketed" 5 s.count;
+  Alcotest.(check bool) "summary stays finite" true
+    (Float.is_finite s.p50 && Float.is_finite s.p99)
+
+(* --- JSON round-trip ------------------------------------------------------- *)
+
+let test_snapshot_jsonl_roundtrip () =
+  let r = Obs.Metrics.create ~enabled:true () in
+  let c = Obs.Metrics.counter ~registry:r ~family:"sim" "events" in
+  let g = Obs.Metrics.gauge ~registry:r ~family:"sim" "queue" in
+  let h = Obs.Metrics.histogram ~registry:r ~family:"net" "latency" in
+  Obs.Metrics.add c 123;
+  Obs.Metrics.set g 17;
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.25; 80.; 1000.5 ];
+  let snap = Obs.Metrics.snapshot ~registry:r () in
+  match Obs.Metrics.of_jsonl (Obs.Metrics.to_jsonl snap) with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok snap' ->
+      Alcotest.(check int) "same cardinality" (List.length snap)
+        (List.length snap');
+      List.iter2
+        (fun (a : Obs.Metrics.sample) (b : Obs.Metrics.sample) ->
+          Alcotest.(check string) "family" a.family b.family;
+          Alcotest.(check string) "name" a.name b.name;
+          match (a.value, b.value) with
+          | Counter x, Counter y -> Alcotest.(check int) "counter" x y
+          | Gauge x, Gauge y -> Alcotest.(check int) "gauge" x y
+          | Histogram x, Histogram y ->
+              Alcotest.(check int) "count" x.count y.count;
+              Alcotest.(check (float 1e-9)) "sum" x.sum y.sum;
+              Alcotest.(check (float 1e-9)) "p99" x.p99 y.p99
+          | _ -> Alcotest.fail "kind changed across round-trip")
+        snap snap'
+
+let test_json_parser_rejects_garbage () =
+  (match Obs.Json.of_string "{\"a\": [1, 2,]}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing comma accepted");
+  (match Obs.Json.of_string "{} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Obs.Json.of_string "{\"x\": -1.5e3, \"y\": \"\\u00e9\"}" with
+  | Error msg -> Alcotest.failf "valid doc rejected: %s" msg
+  | Ok doc ->
+      Alcotest.(check (option (float 1e-9))) "number" (Some (-1500.))
+        (Option.bind (Obs.Json.member "x" doc) Obs.Json.to_float);
+      Alcotest.(check (option string)) "unicode escape" (Some "\xc3\xa9")
+        (Option.bind (Obs.Json.member "y" doc) Obs.Json.to_string_opt)
+
+(* --- Domain sharding ------------------------------------------------------- *)
+
+(* Four domains hammering one counter must merge to the serial total:
+   increments land in per-domain shards and only meet at snapshot
+   time, so nothing may be lost or double-counted. *)
+let prop_sharded_counter_merge =
+  QCheck.Test.make ~count:20 ~name:"4-domain counter merge = serial total"
+    QCheck.(quad (int_range 1 500) (int_range 1 500) (int_range 1 500) (int_range 1 500))
+    (fun (a, b, c, d) ->
+      let r = Obs.Metrics.create ~enabled:true () in
+      let cnt = Obs.Metrics.counter ~registry:r ~family:"t" "n" in
+      let worker k = Domain.spawn (fun () ->
+          for _ = 1 to k do Obs.Metrics.incr cnt done)
+      in
+      let doms = List.map worker [ a; b; c; d ] in
+      List.iter Domain.join doms;
+      let snap = Obs.Metrics.snapshot ~registry:r () in
+      counter_value (find_exn snap ~family:"t" ~name:"n") = a + b + c + d)
+
+(* The analysis engine's counters must not depend on the worker count:
+   chunk boundaries are fixed by the instance, so a 1-domain and a
+   4-domain run account the same number of configurations. *)
+let test_analysis_counters_domain_invariant () =
+  let run domains =
+    Obs.Metrics.reset ();
+    Obs.Metrics.set_enabled true;
+    let n = 10 in
+    let proto = Raft_model.protocol (Raft_model.default n) in
+    let fleet = Faultmodel.Fleet.uniform ~n ~p:0.01 () in
+    ignore (Analysis.run ~strategy:Analysis.Enumeration ~domains proto fleet);
+    let snap = Obs.Metrics.snapshot () in
+    let v = counter_value (find_exn snap ~family:"analysis" ~name:"configs_evaluated") in
+    Obs.Metrics.set_enabled false;
+    Obs.Metrics.reset ();
+    v
+  in
+  let serial = run 1 and parallel = run 4 in
+  Alcotest.(check int) "1-domain vs 4-domain totals" serial parallel;
+  Alcotest.(check int) "full enumeration" 1024 serial
+
+let suite =
+  [
+    Alcotest.test_case "counter and gauge" `Quick test_counter_and_gauge;
+    Alcotest.test_case "disabled registry" `Quick test_disabled_registry_records_nothing;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram extremes" `Quick test_histogram_extremes;
+    Alcotest.test_case "snapshot jsonl round-trip" `Quick test_snapshot_jsonl_roundtrip;
+    Alcotest.test_case "json parser strictness" `Quick test_json_parser_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_sharded_counter_merge;
+    Alcotest.test_case "analysis counters domain-invariant" `Quick
+      test_analysis_counters_domain_invariant;
+  ]

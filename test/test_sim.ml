@@ -331,6 +331,41 @@ let test_injector_sample_plan_statistics () =
   Alcotest.(check bool) "crash rate" true (Float.abs (f crash -. 0.3) < 0.02);
   Alcotest.(check bool) "byz rate" true (Float.abs (f byz -. 0.1) < 0.02)
 
+let test_injector_byzantine_precedence () =
+  (* Regression: when the probability mass of the two fault classes
+     overlaps, the Byzantine band wins. Forcing both to 1.0 must yield
+     an all-Byzantine plan, never a crash. *)
+  let rng = Prob.Rng.create 3 in
+  let n = 16 in
+  let ones = Array.make n 1.0 in
+  let plan = Fault_injector.sample_plan rng ~crash_probs:ones ~byz_probs:ones in
+  Alcotest.(check int) "every node faulted" n (List.length plan);
+  List.iter
+    (fun (_, fault) ->
+      match fault with
+      | Fault_injector.Byzantine_from _ -> ()
+      | _ -> Alcotest.fail "byzantine must win over crash")
+    plan;
+  (* Certain crash with no Byzantine mass still crashes every node. *)
+  let plan =
+    Fault_injector.sample_plan rng ~crash_probs:ones
+      ~byz_probs:(Array.make n 0.0)
+  in
+  Alcotest.(check int) "every node crashed" n (List.length plan);
+  List.iter
+    (fun (_, fault) ->
+      match fault with
+      | Fault_injector.Crash_at _ -> ()
+      | _ -> Alcotest.fail "expected crash")
+    plan;
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument
+       "Fault_injector.sample_plan: probability arrays differ in length")
+    (fun () ->
+      ignore
+        (Fault_injector.sample_plan rng ~crash_probs:ones
+           ~byz_probs:(Array.make (n - 1) 0.0)))
+
 (* --- Trace -------------------------------------------------------------------------- *)
 
 let test_trace_recording () =
@@ -373,5 +408,6 @@ let suite =
     Alcotest.test_case "injector validation" `Quick test_injector_rejects_bad_restart;
     Alcotest.test_case "injector plan shape" `Quick test_injector_of_failed_nodes;
     Alcotest.test_case "injector sampling stats" `Slow test_injector_sample_plan_statistics;
+    Alcotest.test_case "injector byzantine precedence" `Quick test_injector_byzantine_precedence;
     Alcotest.test_case "trace recording" `Quick test_trace_recording;
   ]

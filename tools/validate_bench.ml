@@ -1,0 +1,60 @@
+(* Schema check for the bench harness's --json artifact
+   (probcons-bench/2). CI runs this against ci-bench.json; a non-zero
+   exit fails the workflow before a malformed artifact gets archived.
+
+   Checks: top-level object with schema tag, non-empty rows each
+   carrying a finite ns_per_run, and a parseable non-empty metrics
+   snapshot. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_row i row =
+  let str key = Option.bind (Obs.Json.member key row) Obs.Json.to_string_opt in
+  let num key = Option.bind (Obs.Json.member key row) Obs.Json.to_float in
+  (match str "kernel" with
+  | Some _ -> ()
+  | None -> fail "row %d: missing kernel" i);
+  match num "ns_per_run" with
+  | Some v when Float.is_finite v && v > 0. -> ()
+  | Some v -> fail "row %d: ns_per_run not finite and positive (%g)" i v
+  | None -> fail "row %d: missing numeric ns_per_run" i
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: validate_bench FILE.json";
+        exit 2
+  in
+  let doc =
+    match Obs.Json.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error msg -> fail "%s: %s" path msg
+  in
+  (match Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_string_opt with
+  | Some "probcons-bench/2" -> ()
+  | Some other -> fail "unexpected schema %S" other
+  | None -> fail "missing schema tag");
+  let rows =
+    match Option.bind (Obs.Json.member "rows" doc) Obs.Json.to_list with
+    | Some [] -> fail "rows is empty"
+    | Some rows -> rows
+    | None -> fail "missing rows list"
+  in
+  List.iteri check_row rows;
+  (match Obs.Json.member "metrics" doc with
+  | None -> fail "missing metrics snapshot"
+  | Some metrics -> (
+      match Obs.Metrics.of_json metrics with
+      | Error msg -> fail "metrics snapshot: %s" msg
+      | Ok [] -> fail "metrics snapshot is empty"
+      | Ok samples ->
+          Printf.printf "%s: OK (%d rows, %d metric samples)\n" path
+            (List.length rows) (List.length samples)))
