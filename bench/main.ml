@@ -876,6 +876,65 @@ let p2_obs_overhead ~quick =
   record_row ~kernel:"obs/sim-raft-metrics-on" ~n:5 ~engine:"dessim" ~domains:1
     ~ns_per_run:on_ns
 
+(* ---------------------------------------------------------------- P3 *)
+
+let p3_service ~quick =
+  section "P3. Query service: wire parsing, reply cache, socket round-trips";
+  (* Hot-path costs of the serving layer, end to end: parse a request
+     line, derive its cache key, hit the LRU, and finally a full
+     client->server->client round-trip over a Unix socket (cached, so
+     the protocol overhead dominates, not the analysis). *)
+  let query =
+    Service.Wire.Analyze { protocol = Service.Wire.Raft; groups = [ (7, 0.02) ] }
+  in
+  let line = Service.Wire.encode_request { Service.Wire.id = 1; query } in
+  let time_ns reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps
+  in
+  let reps = if quick then 20_000 else 200_000 in
+  let parse_ns = time_ns reps (fun () -> ignore (Service.Wire.parse_request line)) in
+  Printf.printf "  wire parse+validate:      %8.0f ns/req\n" parse_ns;
+  record_row ~kernel:"service/wire-parse" ~n:7 ~engine:"json" ~domains:1
+    ~ns_per_run:parse_ns;
+  let key_ns = time_ns reps (fun () -> ignore (Service.Wire.canonical_key query)) in
+  Printf.printf "  canonical cache key:      %8.0f ns/req\n" key_ns;
+  record_row ~kernel:"service/canonical-key" ~n:7 ~engine:"json" ~domains:1
+    ~ns_per_run:key_ns;
+  let cache = Service.Cache.create ~capacity:1024 () in
+  let key = Service.Wire.canonical_key query in
+  Service.Cache.add cache key "{\"payload\": true}";
+  let hit_ns = time_ns reps (fun () -> ignore (Service.Cache.find cache key)) in
+  Printf.printf "  LRU cache hit:            %8.0f ns/req\n" hit_ns;
+  record_row ~kernel:"service/cache-hit" ~n:1 ~engine:"lru" ~domains:1
+    ~ns_per_run:hit_ns;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probcons-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Service.Server.start
+      { Service.Server.default_config with
+        Service.Server.socket_path = Some socket; workers = 2 }
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop server)
+    (fun () ->
+      let c = Service.Client.connect ~retry_for:5. (Service.Client.Unix_path socket) in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () ->
+          ignore (Service.Client.call_raw c line);
+          let rt_reps = if quick then 2_000 else 20_000 in
+          let rt_ns = time_ns rt_reps (fun () -> ignore (Service.Client.call_raw c line)) in
+          Printf.printf "  unix-socket round-trip:   %8.0f ns/req (%.0f req/s, cached)\n"
+            rt_ns (1e9 /. rt_ns);
+          record_row ~kernel:"service/roundtrip-unix" ~n:7 ~engine:"unix-socket"
+            ~domains:2 ~ns_per_run:rt_ns))
+
 (* ------------------------------------------------- Bechamel kernels *)
 
 let kernel_tests () =
@@ -1007,6 +1066,7 @@ let () =
   e20_engine_ablation ();
   p1_parallel_engine ~quick;
   p2_obs_overhead ~quick;
+  p3_service ~quick;
   if quick then print_endline "(microbenchmarks skipped: --quick)" else run_kernels ();
   (match json_target () with Some path -> write_json path | None -> ());
   print_newline ()

@@ -5,6 +5,12 @@
 
 open Cmdliner
 
+let version = "1.0.0"
+
+(* Every subcommand gets [--version], reporting the package version
+   (the wire-protocol version travels with it via [probcons version]). *)
+let cmd_info name ~doc = Cmd.info name ~version ~doc
+
 (* --- Shared arguments --------------------------------------------- *)
 
 let n_arg =
@@ -111,7 +117,7 @@ let analyze_cmd =
   in
   let term = with_metrics Term.(const run $ protocol_arg $ n_arg $ p_arg $ mix_arg) in
   Cmd.v
-    (Cmd.info "analyze"
+    (cmd_info "analyze"
        ~doc:"Probabilistic safety/liveness of a Raft or PBFT deployment.")
     term
 
@@ -163,7 +169,7 @@ let tables_cmd =
     Probcons.Report.print ~title:"Table 2: Raft reliability for uniform node failure"
       t2
   in
-  Cmd.v (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1 and 2.")
+  Cmd.v (cmd_info "tables" ~doc:"Reproduce the paper's Tables 1 and 2.")
     (with_metrics (Term.const run))
 
 (* --- optimize ------------------------------------------------------- *)
@@ -184,7 +190,7 @@ let optimize_cmd =
     | None -> Format.printf "no deployment meets the target@."
   in
   Cmd.v
-    (Cmd.info "optimize" ~doc:"Min-cost deployment for a reliability target.")
+    (cmd_info "optimize" ~doc:"Min-cost deployment for a reliability target.")
     (with_metrics Term.(const run $ target_nines_arg))
 
 (* --- markov --------------------------------------------------------- *)
@@ -207,7 +213,7 @@ let markov_cmd =
       (Prob.Nines.percent_string (Markov.Repair_model.availability spec))
   in
   Cmd.v
-    (Cmd.info "markov" ~doc:"Storage-style MTTF/MTTDL/availability of a cluster.")
+    (cmd_info "markov" ~doc:"Storage-style MTTF/MTTDL/availability of a cluster.")
     (with_metrics Term.(const run $ n_arg $ afr_arg $ mttr_arg))
 
 (* --- simulate ------------------------------------------------------- *)
@@ -258,7 +264,7 @@ let simulate_cmd =
         Format.printf "%a@." Pbft_sim.Pbft_checker.pp_report report
   in
   Cmd.v
-    (Cmd.info "simulate"
+    (cmd_info "simulate"
        ~doc:"Execute a Raft or PBFT cluster under fault injection and check it.")
     (with_metrics
        Term.(
@@ -284,7 +290,7 @@ let committee_cmd =
     | None -> Format.printf "random committees cannot meet the target@."
   in
   Cmd.v
-    (Cmd.info "committee" ~doc:"Committee sampling for a reliability target.")
+    (cmd_info "committee" ~doc:"Committee sampling for a reliability target.")
     (with_metrics Term.(const run $ target_nines_arg $ seed_arg))
 
 (* --- benor ----------------------------------------------------------- *)
@@ -314,7 +320,7 @@ let benor_cmd =
       report.Benor_sim.Benor_cluster.decisions
   in
   Cmd.v
-    (Cmd.info "benor" ~doc:"Run Ben-Or randomized consensus with split inputs.")
+    (cmd_info "benor" ~doc:"Run Ben-Or randomized consensus with split inputs.")
     (with_metrics Term.(const run $ n_arg $ seed_arg $ coin_arg))
 
 (* --- mixed ----------------------------------------------------------- *)
@@ -337,7 +343,7 @@ let mixed_cmd =
       (Probcons.Upright_model.compare_with_classics fleet)
   in
   Cmd.v
-    (Cmd.info "mixed"
+    (cmd_info "mixed"
        ~doc:"Compare Raft, PBFT and dual-threshold Upright under mixed faults.")
     (with_metrics Term.(const run $ n_arg $ p_arg $ byz_fraction_arg))
 
@@ -367,7 +373,7 @@ let endtoend_cmd =
     | None -> Format.printf "five nines of availability are unattainable@."
   in
   Cmd.v
-    (Cmd.info "endtoend" ~doc:"End-to-end availability/durability SLO evaluation.")
+    (cmd_info "endtoend" ~doc:"End-to-end availability/durability SLO evaluation.")
     (with_metrics Term.(const run $ n_arg $ afr_arg $ failover_arg $ mission_arg))
 
 (* --- bounds ------------------------------------------------------------ *)
@@ -386,7 +392,7 @@ let bounds_cmd =
       c.Prob.Bounds.hoeffding_ratio
   in
   Cmd.v
-    (Cmd.info "bounds" ~doc:"Exact binomial tail vs Chernoff/Hoeffding bounds.")
+    (cmd_info "bounds" ~doc:"Exact binomial tail vs Chernoff/Hoeffding bounds.")
     (with_metrics Term.(const run $ n_arg $ p_arg $ k_arg))
 
 (* --- sweep ------------------------------------------------------------- *)
@@ -423,7 +429,7 @@ let sweep_cmd =
       (if csv then Probcons.Report.to_csv table else Probcons.Report.render table)
   in
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Reliability grids across cluster sizes and fault rates.")
+    (cmd_info "sweep" ~doc:"Reliability grids across cluster sizes and fault rates.")
     (with_metrics Term.(const run $ kind_arg $ csv_arg))
 
 (* --- plan -------------------------------------------------------------- *)
@@ -445,19 +451,157 @@ let plan_cmd =
     | None -> Format.printf "no committee of this fleet meets the target@."
   in
   Cmd.v
-    (Cmd.info "plan"
+    (cmd_info "plan"
        ~doc:
          "Plan a probability-native deployment (committee, quorums, leader order) \
           and execute it once on the simulator.")
     (with_metrics Term.(const run $ target_nines_arg $ mix_arg $ seed_arg))
 
+(* --- serve / loadgen / version ----------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt int (Parallel.Pool.default ())
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Service.Server.default_config.Service.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"D"
+          ~doc:"Bounded request queue; excess requests are answered 'overloaded'.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int Service.Server.default_config.Service.Server.cache_capacity
+      & info [ "cache-capacity" ] ~docv:"E" ~doc:"LRU reply-cache entries (0 disables).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt float Service.Server.default_config.Service.Server.deadline_seconds
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:"Queue deadline in seconds; stale requests get 'deadline_exceeded'.")
+  in
+  let run socket port workers queue_depth cache_capacity deadline () =
+    if socket = None && port = None then begin
+      prerr_endline "probcons serve: set --socket PATH and/or --port PORT";
+      exit 2
+    end;
+    (match socket with
+    | Some path -> Format.printf "listening on unix socket %s@." path
+    | None -> ());
+    (match port with
+    | Some port -> Format.printf "listening on 127.0.0.1:%d@." port
+    | None -> ());
+    Format.printf "%s: %d workers, queue %d, cache %d, deadline %gs@."
+      Service.Wire.protocol_name workers queue_depth cache_capacity deadline;
+    Service.Server.run
+      {
+        Service.Server.socket_path = socket;
+        tcp_port = port;
+        workers;
+        queue_depth;
+        cache_capacity;
+        deadline_seconds = deadline;
+      }
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Serve reliability queries over newline-delimited JSON \
+          (Unix-domain socket and/or loopback TCP) until SIGINT/SIGTERM.")
+    (with_metrics
+       Term.(
+         const run $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
+         $ deadline_arg))
+
+let loadgen_cmd =
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc:"Concurrent clients.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per client.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "distinct" ] ~docv:"K" ~doc:"Distinct queries in the pool.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the probcons-loadgen/1 result artifact to $(docv).")
+  in
+  let run socket port clients requests distinct json () =
+    let target =
+      match (socket, port) with
+      | Some path, _ -> Service.Client.Unix_path path
+      | None, Some port -> Service.Client.Tcp port
+      | None, None ->
+          prerr_endline "probcons loadgen: set --socket PATH or --port PORT";
+          exit 2
+    in
+    let r = Service.Loadgen.run ~clients ~requests ~distinct ~target () in
+    Service.Loadgen.print_report r;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Service.Loadgen.to_json r));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "loadgen artifact written to %s@." path);
+    if r.Service.Loadgen.errors > 0 || r.Service.Loadgen.mismatches > 0 then
+      exit 1
+  in
+  Cmd.v
+    (cmd_info "loadgen"
+       ~doc:
+         "Generate closed-loop load against a running server and report \
+          throughput, latency percentiles and response byte-identity.")
+    (with_metrics
+       Term.(
+         const run $ socket_arg $ port_arg $ clients_arg $ requests_arg
+         $ distinct_arg $ json_arg))
+
+let version_cmd =
+  let run () =
+    Format.printf "probcons %s@." version;
+    Format.printf "wire protocol: %s (v%d)@." Service.Wire.protocol_name
+      Service.Wire.protocol_version
+  in
+  Cmd.v
+    (cmd_info "version" ~doc:"Print the package and wire-protocol versions.")
+    Term.(const run $ const ())
+
 let main_cmd =
   let doc = "probabilistic consensus reliability toolkit" in
   Cmd.group
-    (Cmd.info "probcons" ~version:"1.0.0" ~doc)
+    (Cmd.info "probcons" ~version ~doc)
     [
       analyze_cmd; tables_cmd; optimize_cmd; markov_cmd; simulate_cmd; committee_cmd;
       benor_cmd; mixed_cmd; endtoend_cmd; bounds_cmd; plan_cmd; sweep_cmd;
+      serve_cmd; loadgen_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

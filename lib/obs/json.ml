@@ -18,6 +18,8 @@ let escape_into buf s =
       match c with
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
@@ -65,7 +67,9 @@ exception Parse_error of int * string
 
 let parse_error i msg = raise (Parse_error (i, msg))
 
-let of_string s =
+let default_max_depth = 512
+
+let of_string ?(max_depth = default_max_depth) s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -176,7 +180,10 @@ let of_string s =
           | Some v -> Float v
           | None -> parse_error start "malformed number")
   in
-  let rec parse_value () =
+  (* [depth] counts open containers. Untrusted input (wire requests)
+     must not drive the recursive parser into a stack overflow, so
+     crossing [max_depth] is a structured parse error like any other. *)
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> parse_error !pos "unexpected end of input"
@@ -185,6 +192,7 @@ let of_string s =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+        if depth >= max_depth then parse_error !pos "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
@@ -192,17 +200,18 @@ let of_string s =
           List []
         end
         else begin
-          let items = ref [ parse_value () ] in
+          let items = ref [ parse_value (depth + 1) ] in
           skip_ws ();
           while peek () = Some ',' do
             advance ();
-            items := parse_value () :: !items;
+            items := parse_value (depth + 1) :: !items;
             skip_ws ()
           done;
           expect ']';
           List (List.rev !items)
         end
     | Some '{' ->
+        if depth >= max_depth then parse_error !pos "nesting too deep";
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
@@ -215,7 +224,7 @@ let of_string s =
             let key = parse_string () in
             skip_ws ();
             expect ':';
-            let value = parse_value () in
+            let value = parse_value (depth + 1) in
             (key, value)
           in
           let fields = ref [ field () ] in
@@ -232,7 +241,7 @@ let of_string s =
     | Some c -> parse_error !pos (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then parse_error !pos "trailing garbage";
     v

@@ -22,11 +22,21 @@ val number : float -> t
 val to_string : t -> string
 (** Compact single-line rendering. Floats print with ["%.17g"] so they
     round-trip bit-exactly through {!of_string}; integral floats may
-    re-parse as [Int] (use {!to_float} when consuming numbers). *)
+    re-parse as [Int] (use {!to_float} when consuming numbers). Strings
+    escape the quote, the backslash and every control character
+    U+0000–U+001F (short forms [\b \f \n \r \t], [\uXXXX] otherwise),
+    so any OCaml string —
+    arbitrary bytes included — renders to valid JSON and round-trips. *)
 
-val of_string : string -> (t, string) result
+val default_max_depth : int
+(** Default container-nesting limit for {!of_string} (512). *)
+
+val of_string : ?max_depth:int -> string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed). [Error]
-    carries a message with a character offset. *)
+    carries a message with a character offset. Input nested deeper than
+    [max_depth] containers is rejected with a structured [Error] rather
+    than overflowing the parser's stack — safe on untrusted socket
+    input. *)
 
 val member : string -> t -> t option
 (** Field lookup; [None] when absent or when the value is not [Obj]. *)

@@ -1,0 +1,65 @@
+type target = Unix_path of string | Tcp of int
+
+type t = { fd : Unix.file_descr; mutable pending : string; chunk : Bytes.t }
+
+let sockaddr = function
+  | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let connect ?(retry_for = 0.) target =
+  let domain, addr = sockaddr target in
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.close fd;
+        Unix.sleepf 0.02;
+        attempt ()
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  { fd = attempt (); pending = ""; chunk = Bytes.create 8192 }
+
+let send_line t line =
+  let s = line ^ "\n" in
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring t.fd s off (len - off))
+  in
+  go 0
+
+let rec recv_line t =
+  match String.index_opt t.pending '\n' with
+  | Some i ->
+      let line = String.sub t.pending 0 i in
+      t.pending <-
+        String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+      Some line
+  | None -> (
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 | (exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _))
+        ->
+          None
+      | k ->
+          t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 k;
+          recv_line t)
+
+let call_raw t line =
+  send_line t line;
+  recv_line t
+
+let call t ~id query =
+  match call_raw t (Wire.encode_request { Wire.id; query }) with
+  | exception e -> Error (Wire.Internal, Printexc.to_string e)
+  | None -> Error (Wire.Internal, "connection closed by server")
+  | Some line -> (
+      match Wire.parse_response line with
+      | Error msg -> Error (Wire.Internal, "malformed response: " ^ msg)
+      | Ok { Wire.body; _ } -> body)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,32 @@
+(** Blocking client for the reliability-query wire protocol.
+
+    One socket, newline-delimited requests and responses. {!call} is
+    the simple request/response form; {!send_line}/{!recv_line} expose
+    the raw framing so tests and the load generator can pipeline
+    requests or send deliberately malformed lines. Not thread-safe —
+    use one client per thread. *)
+
+type target = Unix_path of string | Tcp of int
+(** [Tcp port] connects to 127.0.0.1. *)
+
+type t
+
+val connect : ?retry_for:float -> target -> t
+(** [retry_for] (seconds, default 0): keep retrying refused/absent
+    endpoints for that long before re-raising — lets tests connect to a
+    server that is still binding its socket. *)
+
+val send_line : t -> string -> unit
+(** Write [line ^ "\n"]. *)
+
+val recv_line : t -> string option
+(** Next newline-terminated line, or [None] on EOF. *)
+
+val call_raw : t -> string -> string option
+(** [send_line] then [recv_line]. *)
+
+val call : t -> id:int -> Wire.query -> (Obs.Json.t, Wire.error_code * string) result
+(** Encode, send, receive, decode. Transport failures (EOF, malformed
+    response) surface as [Error (Internal, _)]. *)
+
+val close : t -> unit

@@ -1,0 +1,163 @@
+type result = {
+  clients : int;
+  requests_total : int;
+  ok : int;
+  errors : int;
+  mismatches : int;
+  elapsed_seconds : float;
+  throughput_rps : float;
+  latency : Obs.Metrics.hist_summary;
+  server_stats : Obs.Json.t option;
+  cache_hit_rate : float option;
+}
+
+(* Cheap, pairwise-distinct analysis queries: small odd fleets with
+   distinct fault probabilities, so each pool slot is its own cache
+   entry but no slot costs more than a count-DP over n <= 11. *)
+let query_pool distinct =
+  Array.init distinct (fun i ->
+      Wire.Analyze
+        {
+          protocol = Wire.Raft;
+          groups = [ ((2 * (i mod 5)) + 3, 0.01 +. (0.001 *. float_of_int i)) ];
+        })
+
+let json_field name = function
+  | Obs.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ~target () =
+  let clients = max 1 clients
+  and requests = max 1 requests
+  and distinct = max 1 distinct in
+  let pool = query_pool distinct in
+  let registry = Obs.Metrics.create ~enabled:true () in
+  let m_latency =
+    Obs.Metrics.histogram ~registry ~family:"loadgen" "latency_seconds"
+  in
+  let ok = Atomic.make 0
+  and errors = Atomic.make 0
+  and mismatches = Atomic.make 0 in
+  (* First full response line seen for each pool slot; every later
+     reply for that slot must match it byte for byte. *)
+  let expected = Array.make distinct None in
+  let expected_mutex = Mutex.create () in
+  let check_identical slot line =
+    Mutex.lock expected_mutex;
+    (match expected.(slot) with
+    | None -> expected.(slot) <- Some line
+    | Some first -> if not (String.equal first line) then Atomic.incr mismatches);
+    Mutex.unlock expected_mutex
+  in
+  let client_loop k =
+    let c = Client.connect ~retry_for:5. target in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        for r = 0 to requests - 1 do
+          let slot = (k + r) mod distinct in
+          let line = Wire.encode_request { Wire.id = slot; query = pool.(slot) } in
+          let t0 = Unix.gettimeofday () in
+          match Client.call_raw c line with
+          | None -> Atomic.incr errors
+          | Some reply -> (
+              Obs.Metrics.observe m_latency (Unix.gettimeofday () -. t0);
+              match Wire.parse_response reply with
+              | Ok { Wire.body = Ok _; _ } ->
+                  Atomic.incr ok;
+                  check_identical slot reply
+              | Ok { Wire.body = Error _; _ } | Error _ -> Atomic.incr errors)
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun k -> Thread.create client_loop k) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let server_stats =
+    match
+      let c = Client.connect ~retry_for:1. target in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () -> Client.call c ~id:0 Wire.Stats)
+    with
+    | Ok payload -> Some payload
+    | Error _ | (exception _) -> None
+  in
+  let cache_hit_rate =
+    Option.bind server_stats (fun stats ->
+        match Option.bind (json_field "cache" stats) (json_field "hit_rate") with
+        | Some (Obs.Json.Float f) -> Some f
+        | Some (Obs.Json.Int i) -> Some (float_of_int i)
+        | _ -> None)
+  in
+  let latency =
+    match
+      Obs.Metrics.find
+        (Obs.Metrics.snapshot ~registry ())
+        ~family:"loadgen" ~name:"latency_seconds"
+    with
+    | Some (Obs.Metrics.Histogram h) -> h
+    | _ ->
+        { Obs.Metrics.count = 0; sum = 0.; min = 0.; max = 0.; p50 = 0.;
+          p90 = 0.; p99 = 0. }
+  in
+  let requests_total = clients * requests in
+  {
+    clients;
+    requests_total;
+    ok = Atomic.get ok;
+    errors = Atomic.get errors;
+    mismatches = Atomic.get mismatches;
+    elapsed_seconds = elapsed;
+    throughput_rps =
+      (if elapsed > 0. then float_of_int requests_total /. elapsed else 0.);
+    latency;
+    server_stats;
+    cache_hit_rate;
+  }
+
+let print_report r =
+  Printf.printf "loadgen: %d clients x %d requests in %.3fs (%.0f req/s)\n"
+    r.clients
+    (r.requests_total / r.clients)
+    r.elapsed_seconds r.throughput_rps;
+  Printf.printf "  ok %d, errors %d, byte-identity mismatches %d\n" r.ok
+    r.errors r.mismatches;
+  Printf.printf "  latency: p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n"
+    (1e3 *. r.latency.Obs.Metrics.p50)
+    (1e3 *. r.latency.Obs.Metrics.p90)
+    (1e3 *. r.latency.Obs.Metrics.p99)
+    (1e3 *. r.latency.Obs.Metrics.max);
+  match r.cache_hit_rate with
+  | Some rate -> Printf.printf "  server cache hit-rate: %.1f%%\n" (100. *. rate)
+  | None -> Printf.printf "  server cache hit-rate: unavailable\n"
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "probcons-loadgen/1");
+      ("wire", Obs.Json.String Wire.protocol_name);
+      ("clients", Obs.Json.Int r.clients);
+      ("requests_total", Obs.Json.Int r.requests_total);
+      ("ok", Obs.Json.Int r.ok);
+      ("errors", Obs.Json.Int r.errors);
+      ("mismatches", Obs.Json.Int r.mismatches);
+      ("elapsed_seconds", Obs.Json.number r.elapsed_seconds);
+      ("throughput_rps", Obs.Json.number r.throughput_rps);
+      ( "latency_seconds",
+        Obs.Json.Obj
+          [
+            ("count", Obs.Json.Int r.latency.Obs.Metrics.count);
+            ("p50", Obs.Json.number r.latency.Obs.Metrics.p50);
+            ("p90", Obs.Json.number r.latency.Obs.Metrics.p90);
+            ("p99", Obs.Json.number r.latency.Obs.Metrics.p99);
+            ("min", Obs.Json.number r.latency.Obs.Metrics.min);
+            ("max", Obs.Json.number r.latency.Obs.Metrics.max);
+          ] );
+      ( "cache_hit_rate",
+        match r.cache_hit_rate with
+        | Some f -> Obs.Json.number f
+        | None -> Obs.Json.Null );
+      ( "server_stats",
+        match r.server_stats with Some s -> s | None -> Obs.Json.Null );
+    ]

@@ -1,0 +1,43 @@
+(** Closed-loop load generator for the query server.
+
+    Spawns [clients] threads, each with its own connection, issuing
+    [requests] queries drawn round-robin from a pool of [distinct]
+    cheap analysis queries. Because every request's id is its pool
+    index, the full response line for a given pool slot must be
+    byte-identical across clients and repetitions — the generator
+    verifies this on every reply and counts violations.
+
+    Latency is recorded per request into a private {!Obs.Metrics}
+    histogram; the report carries its percentile summary. After the
+    run one extra [stats] request asks the server for its cache
+    hit-rate, so the acceptance criterion (>90% hits on repeated
+    queries) is measured server-side, not inferred. *)
+
+type result = {
+  clients : int;
+  requests_total : int;  (** Issued across all clients. *)
+  ok : int;
+  errors : int;  (** Structured error responses (any code). *)
+  mismatches : int;  (** Byte-identity violations. *)
+  elapsed_seconds : float;
+  throughput_rps : float;
+  latency : Obs.Metrics.hist_summary;
+  server_stats : Obs.Json.t option;
+      (** The server's [stats] payload, when it answered. *)
+  cache_hit_rate : float option;  (** Extracted from [server_stats]. *)
+}
+
+val run :
+  ?clients:int ->
+  ?requests:int ->
+  ?distinct:int ->
+  target:Client.target ->
+  unit ->
+  result
+(** Defaults: 4 clients, 200 requests per client, 8 distinct queries. *)
+
+val print_report : result -> unit
+(** Human-readable summary on stdout. *)
+
+val to_json : result -> Obs.Json.t
+(** Schema ["probcons-loadgen/1"] — validated by [tools/validate_bench]. *)

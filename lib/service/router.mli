@@ -1,0 +1,15 @@
+(** Dispatch parsed wire queries onto the analysis libraries.
+
+    Pure with respect to the request: for a fixed query the payload is
+    deterministic (same tree, same field order, same ["%.17g"] float
+    rendering), which is what lets {!Cache} replay responses byte for
+    byte. Handlers run whatever engine the libraries pick — count DP,
+    Poisson binomial, exact enumeration — all deterministic at the
+    sizes {!Wire} admits.
+
+    [Stats] is the one query the router cannot answer (it describes the
+    {e server}, not the maths); {!Server} intercepts it before dispatch
+    and this module returns [Internal] for it. *)
+
+val handle : Wire.query -> (Obs.Json.t, Wire.error_code * string) result
+(** Never raises: handler exceptions map to [Internal]. *)

@@ -1,0 +1,479 @@
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  workers : int;
+  queue_depth : int;
+  cache_capacity : int;
+  deadline_seconds : float;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    workers = Parallel.Pool.default ();
+    queue_depth = 64;
+    cache_capacity = 1024;
+    deadline_seconds = 5.;
+  }
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let m_connections = Obs.Metrics.counter ~family:"service" "connections_total"
+let m_requests = Obs.Metrics.counter ~family:"service" "requests_total"
+let m_ok = Obs.Metrics.counter ~family:"service" "responses_ok"
+let m_error = Obs.Metrics.counter ~family:"service" "responses_error"
+let m_overload = Obs.Metrics.counter ~family:"service" "rejected_overload"
+let m_deadline = Obs.Metrics.counter ~family:"service" "rejected_deadline"
+let m_queue_depth = Obs.Metrics.gauge ~family:"service" "queue_depth"
+let m_queue_wait = Obs.Metrics.histogram ~family:"service" "queue_wait_seconds"
+let m_handle = Obs.Metrics.histogram ~family:"service" "handle_seconds"
+
+(* --- Connections ------------------------------------------------------- *)
+
+(* Lifecycle: the reader thread owns the fd and is the only closer.
+   [alive] and the close both happen under [write_mutex], so a worker
+   reply either sees [alive = false] or finishes its write before the
+   fd can be closed — no write ever lands on a closed (possibly reused)
+   descriptor. *)
+type conn = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable alive : bool;
+}
+
+type job = { id : int; query : Wire.query; enqueued_at : float; conn : conn }
+
+type queue = {
+  jobs : job Queue.t;
+  qm : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+  mutable accepting : bool;
+}
+
+type t = {
+  config : config;
+  listeners : Unix.file_descr list;
+  queue : queue;
+  cache : Cache.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable worker_host : Thread.t option;
+  conns : (int, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable readers : Thread.t list;
+  mutable next_conn : int;
+  stopped : bool Atomic.t;
+  (* Server-local tallies for the [stats] query: available even when
+     the global metrics registry is disabled. *)
+  n_requests : int Atomic.t;
+  n_ok : int Atomic.t;
+  n_error : int Atomic.t;
+  n_overload : int Atomic.t;
+  n_deadline : int Atomic.t;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let reply conn line =
+  Mutex.lock conn.write_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_mutex)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd (line ^ "\n") with _ -> conn.alive <- false)
+
+(* --- Queue ------------------------------------------------------------- *)
+
+let try_push q job =
+  Mutex.lock q.qm;
+  let outcome =
+    if not q.accepting then Error Wire.Shutting_down
+    else if Queue.length q.jobs >= q.capacity then Error Wire.Overloaded
+    else begin
+      Queue.push job q.jobs;
+      Obs.Metrics.set m_queue_depth (Queue.length q.jobs);
+      Condition.signal q.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock q.qm;
+  outcome
+
+let pop q =
+  Mutex.lock q.qm;
+  while Queue.is_empty q.jobs && q.accepting do
+    Condition.wait q.nonempty q.qm
+  done;
+  let job =
+    if Queue.is_empty q.jobs then None
+    else begin
+      let j = Queue.pop q.jobs in
+      Obs.Metrics.set m_queue_depth (Queue.length q.jobs);
+      Some j
+    end
+  in
+  Mutex.unlock q.qm;
+  job
+
+let close_queue q =
+  Mutex.lock q.qm;
+  q.accepting <- false;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.qm
+
+(* --- Workers ----------------------------------------------------------- *)
+
+let stats_payload t =
+  let hits, misses, evictions = Cache.stats t.cache in
+  let looked_up = hits + misses in
+  let depth =
+    Mutex.lock t.queue.qm;
+    let d = Queue.length t.queue.jobs in
+    Mutex.unlock t.queue.qm;
+    d
+  in
+  Obs.Json.Obj
+    [
+      ("wire", Obs.Json.String Wire.protocol_name);
+      ("workers", Obs.Json.Int t.config.workers);
+      ( "requests",
+        Obs.Json.Obj
+          [
+            ("total", Obs.Json.Int (Atomic.get t.n_requests));
+            ("ok", Obs.Json.Int (Atomic.get t.n_ok));
+            ("error", Obs.Json.Int (Atomic.get t.n_error));
+            ("overloaded", Obs.Json.Int (Atomic.get t.n_overload));
+            ("deadline_exceeded", Obs.Json.Int (Atomic.get t.n_deadline));
+          ] );
+      ( "queue",
+        Obs.Json.Obj
+          [
+            ("capacity", Obs.Json.Int t.queue.capacity);
+            ("depth", Obs.Json.Int depth);
+          ] );
+      ( "cache",
+        Obs.Json.Obj
+          [
+            ("capacity", Obs.Json.Int (Cache.capacity t.cache));
+            ("entries", Obs.Json.Int (Cache.length t.cache));
+            ("hits", Obs.Json.Int hits);
+            ("misses", Obs.Json.Int misses);
+            ("evictions", Obs.Json.Int evictions);
+            ( "hit_rate",
+              Obs.Json.number
+                (if looked_up = 0 then 0.
+                 else float_of_int hits /. float_of_int looked_up) );
+          ] );
+    ]
+
+let send_error t conn ~id code msg =
+  Obs.Metrics.incr m_error;
+  Atomic.incr t.n_error;
+  (match code with
+  | Wire.Overloaded ->
+      Obs.Metrics.incr m_overload;
+      Atomic.incr t.n_overload
+  | Wire.Deadline_exceeded ->
+      Obs.Metrics.incr m_deadline;
+      Atomic.incr t.n_deadline
+  | _ -> ());
+  reply conn (Wire.encode_error ~id code msg)
+
+let process t (job : job) =
+  let now = Unix.gettimeofday () in
+  Obs.Metrics.observe m_queue_wait (now -. job.enqueued_at);
+  if now -. job.enqueued_at > t.config.deadline_seconds then
+    send_error t job.conn ~id:(Some job.id) Wire.Deadline_exceeded
+      (Printf.sprintf "queued longer than the %gs deadline"
+         t.config.deadline_seconds)
+  else
+    match job.query with
+    | Wire.Stats ->
+        Obs.Metrics.incr m_ok;
+        Atomic.incr t.n_ok;
+        reply job.conn
+          (Wire.encode_ok ~id:job.id
+             ~payload:(Obs.Json.to_string (stats_payload t)))
+    | query -> (
+        let key = Wire.canonical_key query in
+        let payload =
+          match Cache.find t.cache key with
+          | Some cached -> Ok cached
+          | None -> (
+              match Obs.Span.time m_handle (fun () -> Router.handle query) with
+              | Ok json ->
+                  let rendered = Obs.Json.to_string json in
+                  Cache.add t.cache key rendered;
+                  Ok rendered
+              | Error e -> Error e)
+        in
+        match payload with
+        | Ok payload ->
+            Obs.Metrics.incr m_ok;
+            Atomic.incr t.n_ok;
+            reply job.conn (Wire.encode_ok ~id:job.id ~payload)
+        | Error (code, msg) -> send_error t job.conn ~id:(Some job.id) code msg)
+
+let worker_loop t =
+  let rec go () =
+    match pop t.queue with
+    | None -> ()
+    | Some job ->
+        process t job;
+        go ()
+  in
+  go ()
+
+(* --- Readers ----------------------------------------------------------- *)
+
+let handle_line t conn line =
+  let line =
+    (* Tolerate CRLF framing. *)
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.trim line = "" then ()
+  else begin
+    Obs.Metrics.incr m_requests;
+    Atomic.incr t.n_requests;
+    match Wire.parse_request line with
+    | Error (id, code, msg) -> send_error t conn ~id code msg
+    | Ok { id; query } -> (
+        let job = { id; query; enqueued_at = Unix.gettimeofday (); conn } in
+        match try_push t.queue job with
+        | Ok () -> ()
+        | Error Wire.Overloaded ->
+            send_error t conn ~id:(Some id) Wire.Overloaded
+              (Printf.sprintf "request queue full (%d deep)" t.queue.capacity)
+        | Error code -> send_error t conn ~id:(Some id) code "server draining")
+  end
+
+let remove_conn t key conn =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns key;
+  Mutex.unlock t.conns_mutex;
+  Mutex.lock conn.write_mutex;
+  conn.alive <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock conn.write_mutex
+
+let reader_loop t key conn =
+  let pending = ref "" in
+  let chunk = Bytes.create 8192 in
+  (* Returns the next newline-terminated line, or None on EOF, error,
+     or a line exceeding the wire limit (framing is unrecoverable, so
+     the connection is dropped). *)
+  let rec next_line () =
+    match String.index_opt !pending '\n' with
+    | Some i ->
+        let line = String.sub !pending 0 i in
+        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+        Some line
+    | None ->
+        if String.length !pending > Wire.max_line_bytes then None
+        else
+          let k = try Unix.read conn.fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+          if k = 0 then None
+          else begin
+            pending := !pending ^ Bytes.sub_string chunk 0 k;
+            next_line ()
+          end
+  in
+  let rec go () =
+    match next_line () with
+    | Some line ->
+        handle_line t conn line;
+        go ()
+    | None -> ()
+  in
+  (try go () with _ -> ());
+  remove_conn t key conn
+
+(* --- Accept loop ------------------------------------------------------- *)
+
+let accept_loop t =
+  let rec go () =
+    match Unix.select (t.stop_r :: t.listeners) [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+    | ready, _, _ ->
+        if List.mem t.stop_r ready then ()
+        else begin
+          List.iter
+            (fun listener ->
+              if List.mem listener ready then
+                match Unix.accept ~cloexec:true listener with
+                | exception Unix.Unix_error _ -> ()
+                | fd, _ ->
+                    Obs.Metrics.incr m_connections;
+                    let conn = { fd; write_mutex = Mutex.create (); alive = true } in
+                    Mutex.lock t.conns_mutex;
+                    let key = t.next_conn in
+                    t.next_conn <- key + 1;
+                    Hashtbl.replace t.conns key conn;
+                    t.readers <-
+                      Thread.create (fun () -> reader_loop t key conn) ()
+                      :: t.readers;
+                    Mutex.unlock t.conns_mutex)
+            t.listeners;
+          go ()
+        end
+  in
+  go ()
+
+(* --- Lifecycle --------------------------------------------------------- *)
+
+let listen_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+let start config =
+  let config =
+    {
+      config with
+      workers = max 1 config.workers;
+      queue_depth = max 1 config.queue_depth;
+    }
+  in
+  if config.socket_path = None && config.tcp_port = None then
+    invalid_arg "Server.start: configure a socket path or a TCP port";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listeners =
+    (match config.socket_path with Some p -> [ listen_unix p ] | None -> [])
+    @ (match config.tcp_port with Some p -> [ listen_tcp p ] | None -> [])
+  in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      config;
+      listeners;
+      queue =
+        {
+          jobs = Queue.create ();
+          qm = Mutex.create ();
+          nonempty = Condition.create ();
+          capacity = config.queue_depth;
+          accepting = true;
+        };
+      cache = Cache.create ~capacity:config.cache_capacity ();
+      stop_r;
+      stop_w;
+      accept_thread = None;
+      worker_host = None;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      readers = [];
+      next_conn = 0;
+      stopped = Atomic.make false;
+      n_requests = Atomic.make 0;
+      n_ok = Atomic.make 0;
+      n_error = Atomic.make 0;
+      n_overload = Atomic.make 0;
+      n_deadline = Atomic.make 0;
+    }
+  in
+  (* All worker lanes live inside one Pool.map call: each lane is a
+     real domain running [worker_loop] until the queue drains at
+     shutdown. Inside a lane the pool's nesting guard makes any
+     Analysis-level parallelism sequential, so request-level
+     parallelism is the only fan-out and engine labels stay
+     deterministic. *)
+  t.worker_host <-
+    Some
+      (Thread.create
+         (fun () ->
+           ignore
+             (Parallel.Pool.map ~domains:config.workers config.workers (fun _ ->
+                  worker_loop t)))
+         ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    (* 1. Stop accepting connections. *)
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    List.iter (fun fd -> try Unix.close fd with _ -> ()) t.listeners;
+    (match t.config.socket_path with
+    | Some path -> ( try Unix.unlink path with _ -> ())
+    | None -> ());
+    (* 2. Drain: queued jobs finish; new requests get [shutting_down]. *)
+    close_queue t.queue;
+    Option.iter Thread.join t.worker_host;
+    (* 3. Wake readers blocked on idle connections and let them close
+       their own fds (see the [conn] lifecycle note). *)
+    let live =
+      Mutex.lock t.conns_mutex;
+      let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      let readers = t.readers in
+      Mutex.unlock t.conns_mutex;
+      ignore readers;
+      l
+    in
+    List.iter
+      (fun conn ->
+        Mutex.lock conn.write_mutex;
+        if conn.alive then
+          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+        Mutex.unlock conn.write_mutex)
+      live;
+    let readers =
+      Mutex.lock t.conns_mutex;
+      let r = t.readers in
+      t.readers <- [];
+      Mutex.unlock t.conns_mutex;
+      r
+    in
+    List.iter Thread.join readers;
+    (try Unix.close t.stop_r with _ -> ());
+    try Unix.close t.stop_w with _ -> ()
+  end
+
+let run config =
+  let t = start config in
+  let stop_requested = Atomic.make false in
+  let previous =
+    List.map
+      (fun s ->
+        ( s,
+          Sys.signal s
+            (Sys.Signal_handle (fun _ -> Atomic.set stop_requested true)) ))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  while not (Atomic.get stop_requested) do
+    try Unix.sleepf 0.2
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  stop t;
+  List.iter (fun (s, h) -> try Sys.set_signal s h with _ -> ()) previous

@@ -1,0 +1,60 @@
+(** The long-running reliability-query server.
+
+    Architecture (one box per module):
+
+    {v
+      accept loop ── reader thread per connection ── bounded queue ──
+        worker lanes (Parallel.Pool domains) ── Router ── Cache ── reply
+    v}
+
+    - {b Transport}: Unix-domain and/or TCP (loopback) listeners; one
+      reader thread per connection parses newline-delimited requests.
+    - {b Backpressure}: a bounded request queue. When it is full the
+      reader replies [overloaded] {e immediately} — load is shed with a
+      structured error, never by hanging the client. Requests that wait
+      in the queue longer than the configured deadline are answered
+      [deadline_exceeded] without being computed.
+    - {b Workers}: [workers] lanes hosted on one {!Parallel.Pool.map}
+      call, so each lane is a real domain (analyses run in parallel
+      across requests) while nested analysis parallelism degrades to
+      sequential per lane — deterministic engine strings, no domain
+      oversubscription.
+    - {b Cache}: replies for cacheable queries are memoized by
+      canonical key ({!Cache}); identical requests get byte-identical
+      responses whether computed or replayed.
+    - {b Shutdown}: {!stop} (or SIGINT/SIGTERM under {!run}) stops
+      accepting, drains queued work, answers late arrivals with
+      [shutting_down], then closes connections — a graceful drain.
+
+    Everything is instrumented under the ["service"] metrics family:
+    request/response/rejection counters, queue-depth gauge, queue-wait
+    and handler-latency histograms, cache hits/misses. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener path. *)
+  tcp_port : int option;  (** TCP listener on 127.0.0.1. *)
+  workers : int;  (** Worker lanes; clamped to [1 ..]. *)
+  queue_depth : int;  (** Bounded queue capacity; clamped to [1 ..]. *)
+  cache_capacity : int;  (** LRU entries; [0] disables caching. *)
+  deadline_seconds : float;  (** Per-request queue deadline. *)
+}
+
+val default_config : config
+(** No listeners configured (callers must set at least one);
+    [workers = Parallel.Pool.default ()], queue depth 64, cache 1024
+    entries, 5 s deadline. *)
+
+type t
+
+val start : config -> t
+(** Bind listeners, spawn the accept loop and worker lanes, and return
+    immediately. Raises [Invalid_argument] when no listener is
+    configured; [Unix.Unix_error] when binding fails. *)
+
+val stop : t -> unit
+(** Graceful drain as described above. Idempotent; blocks until every
+    thread and worker domain has joined. *)
+
+val run : config -> unit
+(** [start], then block until SIGINT or SIGTERM, then [stop]. Installs
+    the signal handlers (and ignores SIGPIPE) for the duration. *)

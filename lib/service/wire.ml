@@ -1,0 +1,432 @@
+type protocol = Raft | Pbft
+
+type system =
+  | Majority of int
+  | Threshold of { n : int; k : int }
+  | Wheel of int
+  | Grid of { rows : int; cols : int }
+
+type probs = Uniform of float | Per_node of float list
+
+type query =
+  | Analyze of { protocol : protocol; groups : (int * float) list }
+  | Availability of { system : system; probs : probs }
+  | Committee of { target_nines : float; groups : (int * float) list }
+  | Quorum_size of { target_live_nines : float; groups : (int * float) list }
+  | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
+  | Plan of { target_nines : float; groups : (int * float) list }
+  | Stats
+
+type error_code =
+  | Parse_error
+  | Unsupported_version
+  | Bad_request
+  | Unknown_kind
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let protocol_version = 1
+let protocol_name = Printf.sprintf "probcons-wire/%d" protocol_version
+let max_line_bytes = 1 lsl 20
+
+let code_string = function
+  | Parse_error -> "parse_error"
+  | Unsupported_version -> "unsupported_version"
+  | Bad_request -> "bad_request"
+  | Unknown_kind -> "unknown_kind"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let code_of_string = function
+  | "parse_error" -> Some Parse_error
+  | "unsupported_version" -> Some Unsupported_version
+  | "bad_request" -> Some Bad_request
+  | "unknown_kind" -> Some Unknown_kind
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type request = { id : int; query : query }
+
+(* --- Validation bounds ------------------------------------------------ *)
+
+(* Every query must terminate quickly on the worker: fleets are capped
+   where the count-DP engine stays O(n^3), and subset-enumerating
+   quorum systems where 2^n stays interactive. Out-of-bounds params are
+   a [bad_request], not a hung worker. *)
+let max_fleet_nodes = 200
+let max_enum_nodes = 22
+let max_threshold_nodes = 1000
+let max_markov_nodes = 64
+let max_nines = 12.
+
+(* --- Canonical encoding ----------------------------------------------- *)
+
+let kind_string = function
+  | Analyze _ -> "analyze"
+  | Availability _ -> "availability"
+  | Committee _ -> "committee"
+  | Quorum_size _ -> "quorum_size"
+  | Markov _ -> "markov"
+  | Plan _ -> "plan"
+  | Stats -> "stats"
+
+let json_groups groups =
+  Obs.Json.List
+    (List.map
+       (fun (count, p) -> Obs.Json.List [ Obs.Json.Int count; Obs.Json.number p ])
+       groups)
+
+let json_system = function
+  | Majority n ->
+      Obs.Json.Obj [ ("kind", Obs.Json.String "majority"); ("n", Obs.Json.Int n) ]
+  | Threshold { n; k } ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "threshold"); ("n", Obs.Json.Int n);
+          ("k", Obs.Json.Int k) ]
+  | Wheel n ->
+      Obs.Json.Obj [ ("kind", Obs.Json.String "wheel"); ("n", Obs.Json.Int n) ]
+  | Grid { rows; cols } ->
+      Obs.Json.Obj
+        [ ("kind", Obs.Json.String "grid"); ("rows", Obs.Json.Int rows);
+          ("cols", Obs.Json.Int cols) ]
+
+let json_probs = function
+  | Uniform p -> ("p", Obs.Json.number p)
+  | Per_node ps -> ("probs", Obs.Json.List (List.map Obs.Json.number ps))
+
+(* Params in a fixed field order with fixed number formatting: this is
+   both the request encoding and (prefixed by the kind) the cache key,
+   so semantically identical queries collapse to one entry. *)
+let query_params = function
+  | Analyze { protocol; groups } ->
+      [
+        ("protocol", Obs.Json.String (match protocol with Raft -> "raft" | Pbft -> "pbft"));
+        ("mix", json_groups groups);
+      ]
+  | Availability { system; probs } ->
+      [ ("system", json_system system); json_probs probs ]
+  | Committee { target_nines; groups } ->
+      [ ("target_nines", Obs.Json.number target_nines); ("mix", json_groups groups) ]
+  | Quorum_size { target_live_nines; groups } ->
+      [
+        ("target_live_nines", Obs.Json.number target_live_nines);
+        ("mix", json_groups groups);
+      ]
+  | Markov { n; quorum; afr; mttr_hours } ->
+      [ ("n", Obs.Json.Int n) ]
+      @ (match quorum with Some q -> [ ("quorum", Obs.Json.Int q) ] | None -> [])
+      @ [ ("afr", Obs.Json.number afr); ("mttr_hours", Obs.Json.number mttr_hours) ]
+  | Plan { target_nines; groups } ->
+      [ ("target_nines", Obs.Json.number target_nines); ("mix", json_groups groups) ]
+  | Stats -> []
+
+let canonical_key query =
+  kind_string query ^ " " ^ Obs.Json.to_string (Obs.Json.Obj (query_params query))
+
+let cacheable = function Stats -> false | _ -> true
+
+let encode_request { id; query } =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("v", Obs.Json.Int protocol_version);
+         ("id", Obs.Json.Int id);
+         ("kind", Obs.Json.String (kind_string query));
+         ("params", Obs.Json.Obj (query_params query));
+       ])
+
+(* --- Request parsing --------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+let get_int name = function
+  | Some (Obs.Json.Int i) -> i
+  | Some _ -> bad "%s must be an integer" name
+  | None -> bad "missing %s" name
+
+let get_float name = function
+  | Some j -> (
+      match Obs.Json.to_float j with
+      | Some v when Float.is_finite v -> v
+      | Some _ -> bad "%s must be finite" name
+      | None -> bad "%s must be a number" name)
+  | None -> bad "missing %s" name
+
+let check_prob name p =
+  if not (Float.is_finite p && p >= 0. && p <= 1.) then
+    bad "%s must be a probability in [0,1]" name;
+  p
+
+let check_nines name v =
+  if not (Float.is_finite v && v > 0. && v <= max_nines) then
+    bad "%s must be in (0, %g] nines" name max_nines;
+  v
+
+(* Fleet params: either the [n]/[p] shorthand or an explicit [mix] of
+   [[count, p], ...] groups; both normalize to the group list. *)
+let parse_groups params =
+  let groups =
+    match Obs.Json.member "mix" params with
+    | Some (Obs.Json.List items) ->
+        if items = [] then bad "mix must be non-empty";
+        List.map
+          (function
+            | Obs.Json.List [ count; p ] ->
+                let count =
+                  match Obs.Json.to_int count with
+                  | Some c when c >= 1 -> c
+                  | _ -> bad "mix group counts must be positive integers"
+                in
+                let p =
+                  match Obs.Json.to_float p with
+                  | Some p -> check_prob "mix group probability" p
+                  | None -> bad "mix group probability must be a number"
+                in
+                (count, p)
+            | _ -> bad "mix groups must be [count, probability] pairs")
+          items
+    | Some _ -> bad "mix must be a list of [count, probability] pairs"
+    | None ->
+        let n = get_int "n" (Obs.Json.member "n" params) in
+        if n < 1 then bad "n must be positive";
+        let p = check_prob "p" (get_float "p" (Obs.Json.member "p" params)) in
+        [ (n, p) ]
+  in
+  let total = List.fold_left (fun acc (c, _) -> acc + c) 0 groups in
+  if total > max_fleet_nodes then
+    bad "fleet of %d nodes exceeds the %d-node limit" total max_fleet_nodes;
+  groups
+
+let parse_system params =
+  let sys =
+    match Obs.Json.member "system" params with
+    | Some (Obs.Json.Obj _ as s) -> s
+    | Some _ -> bad "system must be an object"
+    | None -> bad "missing system"
+  in
+  let kind =
+    match Option.bind (Obs.Json.member "kind" sys) Obs.Json.to_string_opt with
+    | Some k -> k
+    | None -> bad "system needs a kind"
+  in
+  let n_of limit =
+    let n = get_int "system n" (Obs.Json.member "n" sys) in
+    if n < 1 || n > limit then bad "system n must be in [1, %d]" limit;
+    n
+  in
+  match kind with
+  | "majority" -> Majority (n_of max_threshold_nodes)
+  | "threshold" ->
+      let n = n_of max_threshold_nodes in
+      let k = get_int "system k" (Obs.Json.member "k" sys) in
+      if k < 1 || k > n then bad "system k must be in [1, n]";
+      Threshold { n; k }
+  | "wheel" ->
+      let n = n_of max_enum_nodes in
+      if n < 3 then bad "wheel needs n >= 3";
+      Wheel n
+  | "grid" ->
+      let rows = get_int "system rows" (Obs.Json.member "rows" sys) in
+      let cols = get_int "system cols" (Obs.Json.member "cols" sys) in
+      if rows < 1 || cols < 1 then bad "grid dimensions must be positive";
+      if rows * cols > max_enum_nodes then
+        bad "grid of %d nodes exceeds the %d-node enumeration limit" (rows * cols)
+          max_enum_nodes;
+      Grid { rows; cols }
+  | k -> bad "unknown system kind %S" k
+
+let system_size = function
+  | Majority n | Wheel n -> n
+  | Threshold { n; _ } -> n
+  | Grid { rows; cols } -> rows * cols
+
+let parse_probs ~n params =
+  match (Obs.Json.member "p" params, Obs.Json.member "probs" params) with
+  | Some _, Some _ -> bad "give either p or probs, not both"
+  | Some p, None -> (
+      match Obs.Json.to_float p with
+      | Some p -> Uniform (check_prob "p" p)
+      | None -> bad "p must be a number")
+  | None, Some (Obs.Json.List ps) ->
+      let ps =
+        List.map
+          (fun j ->
+            match Obs.Json.to_float j with
+            | Some p -> check_prob "probs entry" p
+            | None -> bad "probs entries must be numbers")
+          ps
+      in
+      if List.length ps <> n then
+        bad "probs has %d entries for a %d-node system" (List.length ps) n;
+      Per_node ps
+  | None, Some _ -> bad "probs must be a list of numbers"
+  | None, None -> bad "missing p or probs"
+
+let parse_query ~kind ~params =
+  match kind with
+  | "analyze" ->
+      let protocol =
+        match
+          Option.bind (Obs.Json.member "protocol" params) Obs.Json.to_string_opt
+        with
+        | Some "raft" | None -> Raft
+        | Some "pbft" -> Pbft
+        | Some other -> bad "unknown protocol %S" other
+      in
+      Analyze { protocol; groups = parse_groups params }
+  | "availability" ->
+      let system = parse_system params in
+      Availability { system; probs = parse_probs ~n:(system_size system) params }
+  | "committee" ->
+      Committee
+        {
+          target_nines =
+            check_nines "target_nines"
+              (get_float "target_nines" (Obs.Json.member "target_nines" params));
+          groups = parse_groups params;
+        }
+  | "quorum_size" ->
+      Quorum_size
+        {
+          target_live_nines =
+            check_nines "target_live_nines"
+              (get_float "target_live_nines"
+                 (Obs.Json.member "target_live_nines" params));
+          groups = parse_groups params;
+        }
+  | "markov" ->
+      let n = get_int "n" (Obs.Json.member "n" params) in
+      if n < 1 || n > max_markov_nodes then
+        bad "n must be in [1, %d]" max_markov_nodes;
+      let quorum =
+        match Obs.Json.member "quorum" params with
+        | None -> None
+        | Some j -> (
+            match Obs.Json.to_int j with
+            | Some q when q >= 1 && q <= n -> Some q
+            | _ -> bad "quorum must be in [1, n]")
+      in
+      let afr = get_float "afr" (Obs.Json.member "afr" params) in
+      if not (afr > 0. && afr < 1000.) then bad "afr must be in (0, 1000)";
+      let mttr_hours =
+        get_float "mttr_hours" (Obs.Json.member "mttr_hours" params)
+      in
+      if not (mttr_hours > 0.) then bad "mttr_hours must be positive";
+      Markov { n; quorum; afr; mttr_hours }
+  | "plan" ->
+      Plan
+        {
+          target_nines =
+            check_nines "target_nines"
+              (get_float "target_nines" (Obs.Json.member "target_nines" params));
+          groups = parse_groups params;
+        }
+  | "stats" -> Stats
+  | _ -> raise Not_found
+
+let parse_request line =
+  if String.length line > max_line_bytes then
+    Error (None, Parse_error, "request line exceeds 1 MiB")
+  else
+    match Obs.Json.of_string line with
+    | Error msg -> Error (None, Parse_error, msg)
+    | Ok (Obs.Json.Obj _ as doc) -> (
+        let id =
+          match Obs.Json.member "id" doc with
+          | None -> Ok 0
+          | Some (Obs.Json.Int i) -> Ok i
+          | Some _ -> Error "id must be an integer"
+        in
+        let id_hint = match id with Ok i -> Some i | Error _ -> None in
+        match Obs.Json.member "v" doc with
+        | Some (Obs.Json.Int v) when v = protocol_version -> (
+            match id with
+            | Error msg -> Error (None, Bad_request, msg)
+            | Ok id -> (
+                match
+                  Option.bind (Obs.Json.member "kind" doc) Obs.Json.to_string_opt
+                with
+                | None -> Error (Some id, Bad_request, "missing kind")
+                | Some kind -> (
+                    let params =
+                      match Obs.Json.member "params" doc with
+                      | Some (Obs.Json.Obj _ as p) -> Ok p
+                      | None -> Ok (Obs.Json.Obj [])
+                      | Some _ -> Error "params must be an object"
+                    in
+                    match params with
+                    | Error msg -> Error (Some id, Bad_request, msg)
+                    | Ok params -> (
+                        match parse_query ~kind ~params with
+                        | query -> Ok { id; query }
+                        | exception Bad msg -> Error (Some id, Bad_request, msg)
+                        | exception Not_found ->
+                            Error
+                              ( Some id,
+                                Unknown_kind,
+                                Printf.sprintf "unknown kind %S" kind )))))
+        | Some _ | None ->
+            Error
+              ( id_hint,
+                Unsupported_version,
+                Printf.sprintf "this server speaks %s" protocol_name ))
+    | Ok _ -> Error (None, Bad_request, "request must be a JSON object")
+
+(* --- Responses --------------------------------------------------------- *)
+
+(* The envelope prefix is assembled textually so a cached payload can
+   be spliced without re-rendering — identical requests get identical
+   bytes, cached or not. *)
+let encode_ok ~id ~payload =
+  Printf.sprintf "{\"v\": %d, \"id\": %d, \"ok\": %s}" protocol_version id payload
+
+let encode_error ~id code msg =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       [
+         ("v", Obs.Json.Int protocol_version);
+         ("id", Obs.Json.Int (Option.value id ~default:0));
+         ( "error",
+           Obs.Json.Obj
+             [
+               ("code", Obs.Json.String (code_string code));
+               ("msg", Obs.Json.String msg);
+             ] );
+       ])
+
+type response = {
+  rid : int option;
+  body : (Obs.Json.t, error_code * string) result;
+}
+
+let parse_response line =
+  match Obs.Json.of_string line with
+  | Error msg -> Error (Printf.sprintf "bad response: %s" msg)
+  | Ok doc -> (
+      let rid =
+        match Obs.Json.member "id" doc with Some (Obs.Json.Int i) -> Some i | _ -> None
+      in
+      match (Obs.Json.member "ok" doc, Obs.Json.member "error" doc) with
+      | Some payload, None -> Ok { rid; body = Ok payload }
+      | None, Some err ->
+          let code =
+            Option.bind
+              (Option.bind (Obs.Json.member "code" err) Obs.Json.to_string_opt)
+              code_of_string
+            |> Option.value ~default:Internal
+          in
+          let msg =
+            Option.bind (Obs.Json.member "msg" err) Obs.Json.to_string_opt
+            |> Option.value ~default:""
+          in
+          Ok { rid; body = Error (code, msg) }
+      | _ -> Error "response carries neither ok nor error")

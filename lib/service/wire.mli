@@ -1,0 +1,101 @@
+(** The reliability-query wire protocol: versioned, newline-delimited
+    JSON over a byte stream (Unix-domain or TCP socket).
+
+    One request per line, one response per line, in order. A request is
+
+    {v {"v": 1, "id": 7, "kind": "analyze", "params": {...}} v}
+
+    and a response is either
+
+    {v {"v": 1, "id": 7, "ok": <payload>} v}
+    {v {"v": 1, "id": 7, "error": {"code": "overloaded", "msg": "..."}} v}
+
+    [id] is an opaque client-chosen integer echoed back verbatim
+    (default 0 when omitted). [v] must equal {!protocol_version};
+    clients discover the server's version with [probcons version] or
+    the [stats] request kind. Responses to identical requests are
+    byte-identical — the toolkit's determinism guarantee extends across
+    the wire — which is what makes the reply cache a pure win.
+
+    Parsing is total: any byte string maps to a request or to a
+    structured {!error_code}; the JSON layer bounds nesting depth, and
+    {!max_line_bytes} bounds the line length the server will read. *)
+
+type protocol = Raft | Pbft
+
+type system =
+  | Majority of int
+  | Threshold of { n : int; k : int }
+  | Wheel of int
+  | Grid of { rows : int; cols : int }
+
+type probs = Uniform of float | Per_node of float list
+
+(** A parsed, validated query in normal form. [groups] is the
+    heterogeneous-fleet normal form [(count, fault_probability) list];
+    the [n]/[p] shorthand in wire params parses to a single group, so
+    semantically identical requests share one cache entry. *)
+type query =
+  | Analyze of { protocol : protocol; groups : (int * float) list }
+  | Availability of { system : system; probs : probs }
+  | Committee of { target_nines : float; groups : (int * float) list }
+  | Quorum_size of { target_live_nines : float; groups : (int * float) list }
+  | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
+  | Plan of { target_nines : float; groups : (int * float) list }
+  | Stats  (** Server introspection; never cached. *)
+
+type error_code =
+  | Parse_error  (** The line is not valid JSON. *)
+  | Unsupported_version  (** [v] missing or not {!protocol_version}. *)
+  | Bad_request  (** Envelope or params malformed / out of bounds. *)
+  | Unknown_kind
+  | Overloaded  (** Request queue full — explicit backpressure. *)
+  | Deadline_exceeded  (** Queued past the server's deadline. *)
+  | Shutting_down  (** Server draining; no new work accepted. *)
+  | Internal
+
+val protocol_version : int
+(** 1. *)
+
+val protocol_name : string
+(** ["probcons-wire/1"] — the negotiable protocol identifier. *)
+
+val max_line_bytes : int
+(** Longest request line a server reads before rejecting (1 MiB). *)
+
+val code_string : error_code -> string
+val code_of_string : string -> error_code option
+
+type request = { id : int; query : query }
+
+val encode_request : request -> string
+(** Canonical single-line encoding (no trailing newline). *)
+
+val parse_request :
+  string -> (request, int option * error_code * string) result
+(** Total parser. The [int option] is the request id when the envelope
+    was intact enough to recover it, so the error response can still be
+    correlated. *)
+
+val canonical_key : query -> string
+(** Deterministic cache key: the query's kind plus its params in
+    canonical field order and number formatting. Two requests with the
+    same key are guaranteed the same response payload. *)
+
+val cacheable : query -> bool
+(** All compute queries are; [Stats] is not. *)
+
+val encode_ok : id:int -> payload:string -> string
+(** [payload] must be rendered JSON (it is spliced verbatim, which is
+    what keeps cached responses byte-identical). *)
+
+val encode_error : id:int option -> error_code -> string -> string
+
+type response = {
+  rid : int option;  (** Echoed id; [None] on malformed responses. *)
+  body : (Obs.Json.t, error_code * string) result;
+}
+
+val parse_response : string -> (response, string) result
+(** Client side: [Error] only when the line is not a valid response
+    envelope at all (transport corruption). *)

@@ -62,6 +62,18 @@ let test_bad_command_fails () =
   let status, _ = run_capture "no-such-command" in
   Alcotest.(check bool) "nonzero exit" true (status <> 0)
 
+let test_version () =
+  check_contains "version" [ "probcons 1.0.0"; "probcons-wire/1" ];
+  (* Every subcommand answers --version with the package version. *)
+  List.iter
+    (fun sub -> check_contains (sub ^ " --version") [ "1.0.0" ])
+    [ "analyze"; "markov"; "sweep"; "serve"; "loadgen"; "version" ]
+
+let test_serve_requires_listener () =
+  let status, output = run_capture "serve" in
+  Alcotest.(check bool) "nonzero exit" true (status <> 0);
+  Alcotest.(check bool) "usage hint" true (contains output "--socket")
+
 let suite =
   [
     Alcotest.test_case "tables" `Quick test_tables;
@@ -71,4 +83,6 @@ let suite =
     Alcotest.test_case "sweep csv" `Quick test_sweep_csv;
     Alcotest.test_case "plan" `Quick test_plan;
     Alcotest.test_case "bad command fails" `Quick test_bad_command_fails;
+    Alcotest.test_case "version" `Quick test_version;
+    Alcotest.test_case "serve requires listener" `Quick test_serve_requires_listener;
   ]

@@ -17,5 +17,6 @@ let () =
       ("properties", Test_properties.suite);
       ("rabia", Test_rabia.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
       ("cli", Test_cli.suite);
     ]

@@ -150,6 +150,131 @@ let test_json_parser_rejects_garbage () =
       Alcotest.(check (option string)) "unicode escape" (Some "\xc3\xa9")
         (Option.bind (Obs.Json.member "y" doc) Obs.Json.to_string_opt)
 
+(* Wire payloads carry user-provided strings, so the printer must
+   escape every control character (U+0000–U+001F), quotes and
+   backslashes into valid JSON that parses back to the same bytes. *)
+let test_json_string_escaping () =
+  let roundtrip s =
+    let rendered = Obs.Json.to_string (Obs.Json.String s) in
+    String.iter
+      (fun c ->
+        if Char.code c < 0x20 then
+          Alcotest.failf "raw control byte 0x%02x leaked into %S" (Char.code c)
+            rendered)
+      rendered;
+    match Obs.Json.of_string rendered with
+    | Error msg -> Alcotest.failf "escaped %S does not re-parse: %s" rendered msg
+    | Ok (Obs.Json.String s') ->
+        Alcotest.(check string) (Printf.sprintf "round-trip of %S" s) s s'
+    | Ok _ -> Alcotest.fail "string re-parsed as non-string"
+  in
+  (* Every control character, one at a time and embedded mid-string. *)
+  for code = 0 to 0x1F do
+    let c = Char.chr code in
+    roundtrip (String.make 1 c);
+    roundtrip (Printf.sprintf "a%cb" c)
+  done;
+  roundtrip "quote\" backslash\\ slash/ tab\t newline\n";
+  roundtrip "\xc3\xa9 utf-8 passes through";
+  (* The short forms are used where JSON defines them. *)
+  Alcotest.(check string) "short escapes" "\"\\b\\f\\n\\r\\t\""
+    (Obs.Json.to_string (Obs.Json.String "\b\012\n\r\t"));
+  Alcotest.(check string) "\\u form for other controls" "\"\\u0000\\u001f\""
+    (Obs.Json.to_string (Obs.Json.String "\x00\x1f"));
+  (* Object keys are escaped the same way. *)
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Obj [ ("k\n\"", Obs.Json.Int 1) ])) with
+  | Ok (Obs.Json.Obj [ (k, _) ]) -> Alcotest.(check string) "escaped key" "k\n\"" k
+  | Ok _ | Error _ -> Alcotest.fail "escaped object key did not round-trip"
+
+(* Untrusted socket input: nesting past the limit must come back as a
+   structured [Error], never a stack overflow. *)
+let test_json_depth_limit () =
+  let nested d = String.make d '[' ^ String.make d ']' in
+  (match Obs.Json.of_string (nested (Obs.Json.default_max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "input past the limit accepted"
+  | Error _ -> ());
+  (match Obs.Json.of_string (nested Obs.Json.default_max_depth) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "input at the limit rejected: %s" msg);
+  (* A hostile megabyte of open brackets parses to an error, fast. *)
+  (match Obs.Json.of_string (String.make 1_000_000 '[') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbounded nesting accepted");
+  match Obs.Json.of_string ~max_depth:2 "[[1]]" with
+  | Ok _ -> (
+      match Obs.Json.of_string ~max_depth:1 "[[1]]" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "max_depth:1 accepted depth-2 input")
+  | Error msg -> Alcotest.failf "max_depth:2 rejected depth-2 input: %s" msg
+
+(* Fuzz: the parser must never raise, whatever bytes arrive. *)
+let prop_parser_never_raises =
+  QCheck.Test.make ~count:2000 ~name:"of_string never raises on arbitrary bytes"
+    QCheck.(string_gen Gen.(char_range '\x00' '\xff'))
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "of_string %S raised %s" s (Printexc.to_string e))
+
+(* Fuzz: printing any generated tree and parsing it back yields the
+   same tree. Numbers normalize Int/Float (integral floats re-parse as
+   Int), so equality is up to that identification. *)
+let json_gen =
+  let open QCheck.Gen in
+  let any_string = string_size ~gen:(char_range '\x00' '\xff') (int_bound 12) in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Obs.Json.Null;
+            map (fun b -> Obs.Json.Bool b) bool;
+            map (fun i -> Obs.Json.Int i) int;
+            map (fun v -> Obs.Json.Float v) (float_bound_inclusive 1e6);
+            map (fun s -> Obs.Json.String s) any_string;
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map (fun l -> Obs.Json.List l)
+                (list_size (int_bound 4) (self (n / 2))) );
+            ( 1,
+              map (fun kvs -> Obs.Json.Obj kvs)
+                (list_size (int_bound 4) (pair any_string (self (n / 2)))) );
+          ])
+
+let rec json_equal a b =
+  let open Obs.Json in
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Obj x, Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           x y
+  | _ -> false
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"to_string/of_string round-trips trees"
+    (QCheck.make ~print:(fun t -> Obs.Json.to_string t) json_gen)
+    (fun tree ->
+      match Obs.Json.of_string (Obs.Json.to_string tree) with
+      | Ok tree' -> json_equal tree tree'
+      | Error msg ->
+          QCheck.Test.fail_reportf "rendered %S failed to parse: %s"
+            (Obs.Json.to_string tree) msg)
+
 (* --- Domain sharding ------------------------------------------------------- *)
 
 (* Four domains hammering one counter must merge to the serial total:
@@ -198,6 +323,10 @@ let suite =
     Alcotest.test_case "histogram extremes" `Quick test_histogram_extremes;
     Alcotest.test_case "snapshot jsonl round-trip" `Quick test_snapshot_jsonl_roundtrip;
     Alcotest.test_case "json parser strictness" `Quick test_json_parser_rejects_garbage;
+    Alcotest.test_case "json string escaping" `Quick test_json_string_escaping;
+    Alcotest.test_case "json depth limit" `Quick test_json_depth_limit;
+    QCheck_alcotest.to_alcotest prop_parser_never_raises;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
     QCheck_alcotest.to_alcotest prop_sharded_counter_merge;
     Alcotest.test_case "analysis counters domain-invariant" `Quick
       test_analysis_counters_domain_invariant;

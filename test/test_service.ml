@@ -1,0 +1,487 @@
+(* The query service: wire protocol, LRU cache, router determinism,
+   and an end-to-end server exercise over a real Unix-domain socket. *)
+
+open Service
+
+(* --- Helpers ------------------------------------------------------- *)
+
+let fresh_cache ~capacity =
+  (* A private registry keeps cache metrics out of the global one. *)
+  Cache.create ~registry:(Obs.Metrics.create ()) ~capacity ()
+
+(* Threaded tests must not be able to hang the whole suite: run the
+   body on its own thread and fail loudly if it overruns. *)
+let with_watchdog ?(timeout = 60.) f =
+  let outcome = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome := Some (try Ok (f ()) with e -> Error e))
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    match !outcome with
+    | Some (Ok ()) -> Thread.join th
+    | Some (Error e) -> Thread.join th; raise e
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "test timed out after %gs" timeout
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
+let temp_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probcons-test-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let code = Alcotest.testable (Fmt.of_to_string Wire.code_string) ( = )
+
+(* --- Wire ----------------------------------------------------------- *)
+
+let all_queries =
+  [
+    Wire.Analyze { protocol = Wire.Raft; groups = [ (5, 0.01) ] };
+    Wire.Analyze { protocol = Wire.Pbft; groups = [ (4, 0.02); (3, 0.08) ] };
+    Wire.Availability
+      { system = Wire.Majority 5; probs = Wire.Uniform 0.01 };
+    Wire.Availability
+      {
+        system = Wire.Threshold { n = 7; k = 5 };
+        probs = Wire.Per_node [ 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.07 ];
+      };
+    Wire.Availability { system = Wire.Wheel 6; probs = Wire.Uniform 0.05 };
+    Wire.Availability
+      { system = Wire.Grid { rows = 3; cols = 4 }; probs = Wire.Uniform 0.02 };
+    Wire.Committee { target_nines = 4.; groups = [ (4, 0.005); (6, 0.08) ] };
+    Wire.Quorum_size { target_live_nines = 3.; groups = [ (9, 0.02) ] };
+    Wire.Markov { n = 5; quorum = None; afr = 0.04; mttr_hours = 24. };
+    Wire.Markov { n = 7; quorum = Some 4; afr = 0.08; mttr_hours = 12. };
+    Wire.Plan { target_nines = 3.; groups = [ (3, 0.001); (8, 0.02) ] };
+    Wire.Stats;
+  ]
+
+let test_wire_roundtrip () =
+  List.iteri
+    (fun i query ->
+      let line = Wire.encode_request { Wire.id = i; query } in
+      match Wire.parse_request line with
+      | Ok { Wire.id; query = parsed } ->
+          Alcotest.(check int) "id echoes" i id;
+          Alcotest.(check bool)
+            (Printf.sprintf "query %d round-trips" i)
+            true (parsed = query)
+      | Error (_, c, msg) ->
+          Alcotest.failf "query %d failed to parse: %s (%s)" i
+            (Wire.code_string c) msg)
+    all_queries
+
+let test_wire_error_codes () =
+  List.iter
+    (fun c ->
+      Alcotest.(check (option code))
+        (Wire.code_string c) (Some c)
+        (Wire.code_of_string (Wire.code_string c)))
+    [
+      Wire.Parse_error; Wire.Unsupported_version; Wire.Bad_request;
+      Wire.Unknown_kind; Wire.Overloaded; Wire.Deadline_exceeded;
+      Wire.Shutting_down; Wire.Internal;
+    ];
+  Alcotest.(check (option code)) "unknown" None (Wire.code_of_string "nope")
+
+let expect_error line want ~id =
+  match Wire.parse_request line with
+  | Ok _ -> Alcotest.failf "%S should not parse" line
+  | Error (got_id, got, _) ->
+      Alcotest.check code (Printf.sprintf "code for %S" line) want got;
+      Alcotest.(check (option int)) (Printf.sprintf "id for %S" line) id got_id
+
+let test_wire_parse_errors () =
+  expect_error "this is not json" Wire.Parse_error ~id:None;
+  expect_error "[1, 2]" Wire.Bad_request ~id:None;
+  expect_error {|{"id": 3, "kind": "analyze"}|} Wire.Unsupported_version
+    ~id:(Some 3);
+  expect_error {|{"v": 99, "id": 4, "kind": "stats"}|} Wire.Unsupported_version
+    ~id:(Some 4);
+  expect_error {|{"v": 1, "id": 9, "kind": "frobnicate"}|} Wire.Unknown_kind
+    ~id:(Some 9);
+  expect_error {|{"v": 1, "id": 5, "kind": "analyze", "params": {"n": 0, "p": 0.5}}|}
+    Wire.Bad_request ~id:(Some 5);
+  expect_error {|{"v": 1, "kind": "analyze", "params": {"n": 3, "p": 1.5}}|}
+    Wire.Bad_request ~id:(Some 0);
+  expect_error
+    {|{"v": 1, "kind": "analyze", "params": {"n": 201, "p": 0.01}}|}
+    Wire.Bad_request ~id:(Some 0);
+  expect_error
+    {|{"v": 1, "kind": "availability", "params": {"system": {"kind": "grid", "rows": 5, "cols": 5}, "p": 0.1}}|}
+    Wire.Bad_request ~id:(Some 0);
+  (* Over-long lines are rejected before JSON parsing. *)
+  let huge = "{\"v\": 1, \"pad\": \"" ^ String.make Wire.max_line_bytes 'x' ^ "\"}" in
+  expect_error huge Wire.Parse_error ~id:None
+
+let parse_ok line =
+  match Wire.parse_request line with
+  | Ok r -> r
+  | Error (_, c, msg) ->
+      Alcotest.failf "%S: %s (%s)" line (Wire.code_string c) msg
+
+let test_wire_canonical_key () =
+  (* The n/p shorthand and the equivalent one-group mix share a key,
+     so semantically identical requests hit one cache entry. *)
+  let a =
+    parse_ok {|{"v": 1, "kind": "analyze", "params": {"n": 5, "p": 0.01}}|}
+  in
+  let b =
+    parse_ok {|{"v": 1, "id": 7, "kind": "analyze", "params": {"mix": [[5, 0.01]]}}|}
+  in
+  Alcotest.(check string)
+    "shorthand and mix collapse" (Wire.canonical_key a.Wire.query)
+    (Wire.canonical_key b.Wire.query);
+  let c =
+    parse_ok {|{"v": 1, "kind": "analyze", "params": {"n": 5, "p": 0.02}}|}
+  in
+  Alcotest.(check bool)
+    "different p, different key" true
+    (Wire.canonical_key a.Wire.query <> Wire.canonical_key c.Wire.query);
+  Alcotest.(check bool) "stats not cacheable" false (Wire.cacheable Wire.Stats);
+  Alcotest.(check bool) "analyze cacheable" true (Wire.cacheable a.Wire.query)
+
+let test_wire_responses () =
+  let line = Wire.encode_ok ~id:7 ~payload:{|{"x": 1}|} in
+  (match Wire.parse_response line with
+  | Ok { Wire.rid = Some 7; body = Ok (Obs.Json.Obj [ ("x", Obs.Json.Int 1) ]) }
+    ->
+      ()
+  | _ -> Alcotest.failf "unexpected decode of %S" line);
+  let line = Wire.encode_error ~id:(Some 3) Wire.Overloaded "queue full" in
+  (match Wire.parse_response line with
+  | Ok { Wire.rid = Some 3; body = Error (Wire.Overloaded, "queue full") } -> ()
+  | _ -> Alcotest.failf "unexpected decode of %S" line);
+  match Wire.parse_response {|{"v": 1, "id": 1}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "neither ok nor error should not decode"
+
+(* --- Cache ----------------------------------------------------------- *)
+
+let test_cache_eviction_order () =
+  let c = fresh_cache ~capacity:2 in
+  Cache.add c "a" "1";
+  Cache.add c "b" "2";
+  (* Touch [a] so [b] is now least recently used. *)
+  Alcotest.(check (option string)) "a hits" (Some "1") (Cache.find c "a");
+  Cache.add c "c" "3";
+  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option string)) "a survives" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
+  let _, _, evictions = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 evictions
+
+let test_cache_capacity () =
+  let c = fresh_cache ~capacity:3 in
+  for i = 1 to 10 do
+    Cache.add c (string_of_int i) (string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 3 (Cache.length c);
+  let _, _, evictions = Cache.stats c in
+  Alcotest.(check int) "evictions" 7 evictions;
+  (* The three most recent insertions survive. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) ("key " ^ k) (Some k) (Cache.find c k))
+    [ "8"; "9"; "10" ]
+
+let test_cache_hit_stats () =
+  let c = fresh_cache ~capacity:4 in
+  Alcotest.(check (option string)) "cold miss" None (Cache.find c "k");
+  Cache.add c "k" "v";
+  Alcotest.(check (option string)) "hit" (Some "v") (Cache.find c "k");
+  Alcotest.(check (option string)) "hit again" (Some "v") (Cache.find c "k");
+  let hits, misses, evictions = Cache.stats c in
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "misses" 1 misses;
+  Alcotest.(check int) "evictions" 0 evictions
+
+let test_cache_disabled () =
+  let c = fresh_cache ~capacity:0 in
+  Cache.add c "k" "v";
+  Alcotest.(check (option string)) "never stores" None (Cache.find c "k");
+  Alcotest.(check int) "empty" 0 (Cache.length c);
+  let hits, misses, _ = Cache.stats c in
+  Alcotest.(check int) "no hits" 0 hits;
+  Alcotest.(check int) "misses counted" 1 misses
+
+let test_cache_readd () =
+  let c = fresh_cache ~capacity:2 in
+  Cache.add c "k" "first";
+  Cache.add c "other" "o";
+  (* Re-adding keeps the first value but refreshes recency... *)
+  Cache.add c "k" "second";
+  Alcotest.(check (option string)) "first value wins" (Some "first")
+    (Cache.find c "k");
+  (* ...so the next eviction takes [other], not [k]. *)
+  Cache.add c "third" "t";
+  Alcotest.(check (option string)) "other evicted" None (Cache.find c "other");
+  Alcotest.(check (option string)) "k survives" (Some "first") (Cache.find c "k")
+
+(* --- Router ----------------------------------------------------------- *)
+
+let json_field name = function
+  | Obs.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let handle_ok query =
+  match Router.handle query with
+  | Ok payload -> payload
+  | Error (c, msg) ->
+      Alcotest.failf "router error: %s (%s)" (Wire.code_string c) msg
+
+let test_router_matches_direct () =
+  let payload =
+    handle_ok (Wire.Analyze { protocol = Wire.Raft; groups = [ (5, 0.02) ] })
+  in
+  let fleet = Faultmodel.Fleet.uniform ~byz_fraction:0.0 ~n:5 ~p:0.02 () in
+  let direct =
+    Probcons.Analysis.run
+      (Probcons.Raft_model.protocol (Probcons.Raft_model.default 5))
+      fleet
+  in
+  (match json_field "p_safe_live" payload with
+  | Some j ->
+      Alcotest.(check (float 0.))
+        "p_safe_live matches direct Analysis.run"
+        direct.Probcons.Analysis.p_safe_live
+        (Option.get (Obs.Json.to_float j))
+  | None -> Alcotest.fail "payload lacks p_safe_live");
+  match json_field "engine" payload with
+  | Some (Obs.Json.String e) ->
+      Alcotest.(check string) "same engine" direct.Probcons.Analysis.engine e
+  | _ -> Alcotest.fail "payload lacks engine"
+
+let test_router_deterministic () =
+  List.iter
+    (fun query ->
+      if query <> Wire.Stats then
+        let a = Obs.Json.to_string (handle_ok query) in
+        let b = Obs.Json.to_string (handle_ok query) in
+        Alcotest.(check string) "byte-identical payloads" a b)
+    all_queries
+
+let test_router_stats_rejected () =
+  match Router.handle Wire.Stats with
+  | Error (Wire.Internal, _) -> ()
+  | _ -> Alcotest.fail "stats must not be routed"
+
+let test_router_markov_default_quorum () =
+  let payload =
+    handle_ok (Wire.Markov { n = 5; quorum = None; afr = 0.04; mttr_hours = 24. })
+  in
+  match json_field "quorum" payload with
+  | Some (Obs.Json.Int q) -> Alcotest.(check int) "majority quorum" 3 q
+  | _ -> Alcotest.fail "payload lacks quorum"
+
+(* --- End to end -------------------------------------------------------- *)
+
+let base_config socket =
+  {
+    Server.default_config with
+    Server.socket_path = Some socket;
+    workers = 2;
+    queue_depth = 16;
+    cache_capacity = 64;
+  }
+
+let test_e2e_server () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      let server = Server.start (base_config socket) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let query k =
+            Wire.Analyze { protocol = Wire.Raft; groups = [ (3 + (2 * k), 0.01) ] }
+          in
+          (* Concurrent clients, each comparing full response lines per
+             slot: responses must be byte-identical across clients and
+             repeats (computed or cached). *)
+          let per_slot = Array.make 4 None in
+          let slot_mutex = Mutex.create () in
+          let failure = Atomic.make None in
+          let client_loop _k =
+            let c = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                for r = 0 to 19 do
+                  let slot = r mod 4 in
+                  let line =
+                    Wire.encode_request { Wire.id = slot; query = query slot }
+                  in
+                  match Client.call_raw c line with
+                  | None ->
+                      Atomic.set failure (Some "connection closed mid-run")
+                  | Some reply -> (
+                      Mutex.lock slot_mutex;
+                      (match per_slot.(slot) with
+                      | None -> per_slot.(slot) <- Some reply
+                      | Some first ->
+                          if first <> reply then
+                            Atomic.set failure (Some "response bytes diverged"));
+                      Mutex.unlock slot_mutex;
+                      match Wire.parse_response reply with
+                      | Ok { Wire.body = Ok _; _ } -> ()
+                      | _ -> Atomic.set failure (Some ("bad reply: " ^ reply)))
+                done)
+          in
+          let threads = List.init 4 (fun k -> Thread.create client_loop k) in
+          List.iter Thread.join threads;
+          (match Atomic.get failure with
+          | Some msg -> Alcotest.fail msg
+          | None -> ());
+          (* A malformed line gets a structured parse_error on the same
+             connection, which stays usable afterwards. *)
+          let c = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              (match Client.call_raw c "this is { not json" with
+              | Some reply -> (
+                  match Wire.parse_response reply with
+                  | Ok { Wire.body = Error (Wire.Parse_error, _); _ } -> ()
+                  | _ -> Alcotest.failf "expected parse_error, got %s" reply)
+              | None -> Alcotest.fail "no reply to malformed request");
+              (match Client.call c ~id:1 (query 0) with
+              | Ok _ -> ()
+              | Error (c, msg) ->
+                  Alcotest.failf "connection unusable after bad request: %s (%s)"
+                    (Wire.code_string c) msg);
+              (* Server-side stats confirm the cache did the repeats. *)
+              match Client.call c ~id:2 Wire.Stats with
+              | Ok stats -> (
+                  match
+                    Option.bind (json_field "cache" stats) (json_field "hits")
+                  with
+                  | Some (Obs.Json.Int hits) ->
+                      Alcotest.(check bool)
+                        "cache hits on repeated queries" true (hits > 0)
+                  | _ -> Alcotest.fail "stats payload lacks cache.hits")
+              | Error (c, msg) ->
+                  Alcotest.failf "stats failed: %s (%s)" (Wire.code_string c) msg);
+          (* Graceful stop: idempotent, unlinks the socket. *)
+          Server.stop server;
+          Server.stop server;
+          Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)))
+
+let test_e2e_overload () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      (* One worker, one queue slot, no cache: an expensive enumeration
+         holds the worker while pipelined requests pile up, so at least
+         one must be shed with [overloaded] — and nothing may hang. *)
+      let server =
+        Server.start
+          {
+            Server.socket_path = Some socket;
+            tcp_port = None;
+            workers = 1;
+            queue_depth = 1;
+            cache_capacity = 0;
+            deadline_seconds = 60.;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let expensive =
+            (* 2^20-subset enumeration: slow enough to occupy the worker. *)
+            Wire.Availability
+              {
+                system = Wire.Grid { rows = 5; cols = 4 };
+                probs = Wire.Uniform 0.02;
+              }
+          in
+          let c = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              (* Pipeline 6 requests without reading any replies. *)
+              for i = 0 to 5 do
+                Client.send_line c
+                  (Wire.encode_request { Wire.id = i; query = expensive })
+              done;
+              let ok = ref 0 and overloaded = ref 0 and other = ref 0 in
+              for _ = 0 to 5 do
+                match Client.recv_line c with
+                | None -> Alcotest.fail "server closed mid-overload"
+                | Some reply -> (
+                    match Wire.parse_response reply with
+                    | Ok { Wire.body = Ok _; _ } -> incr ok
+                    | Ok { Wire.body = Error (Wire.Overloaded, _); _ } ->
+                        incr overloaded
+                    | _ -> incr other)
+              done;
+              Alcotest.(check int) "all six answered" 6 (!ok + !overloaded + !other);
+              Alcotest.(check int) "no unexpected errors" 0 !other;
+              Alcotest.(check bool) "load was shed" true (!overloaded >= 1);
+              Alcotest.(check bool) "some work completed" true (!ok >= 1))))
+
+let test_e2e_deadline () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      (* A negative deadline makes every dequeued job stale, so the
+         deadline path is exercised deterministically. *)
+      let server =
+        Server.start
+          {
+            Server.socket_path = Some socket;
+            tcp_port = None;
+            workers = 1;
+            queue_depth = 4;
+            cache_capacity = 0;
+            deadline_seconds = -1.;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let c = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              match
+                Client.call c ~id:0
+                  (Wire.Analyze { protocol = Wire.Raft; groups = [ (3, 0.01) ] })
+              with
+              | Error (Wire.Deadline_exceeded, _) -> ()
+              | Ok _ -> Alcotest.fail "expected deadline_exceeded, got ok"
+              | Error (c, msg) ->
+                  Alcotest.failf "expected deadline_exceeded, got %s (%s)"
+                    (Wire.code_string c) msg)))
+
+let suite =
+  [
+    Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire error codes" `Quick test_wire_error_codes;
+    Alcotest.test_case "wire parse errors" `Quick test_wire_parse_errors;
+    Alcotest.test_case "wire canonical key" `Quick test_wire_canonical_key;
+    Alcotest.test_case "wire responses" `Quick test_wire_responses;
+    Alcotest.test_case "cache eviction order" `Quick test_cache_eviction_order;
+    Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
+    Alcotest.test_case "cache hit stats" `Quick test_cache_hit_stats;
+    Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
+    Alcotest.test_case "cache re-add" `Quick test_cache_readd;
+    Alcotest.test_case "router matches direct run" `Quick test_router_matches_direct;
+    Alcotest.test_case "router deterministic" `Quick test_router_deterministic;
+    Alcotest.test_case "router rejects stats" `Quick test_router_stats_rejected;
+    Alcotest.test_case "router markov default quorum" `Quick
+      test_router_markov_default_quorum;
+    Alcotest.test_case "e2e server" `Quick test_e2e_server;
+    Alcotest.test_case "e2e overload" `Quick test_e2e_overload;
+    Alcotest.test_case "e2e deadline" `Quick test_e2e_deadline;
+  ]

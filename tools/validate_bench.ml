@@ -1,10 +1,11 @@
-(* Schema check for the bench harness's --json artifact
-   (probcons-bench/2). CI runs this against ci-bench.json; a non-zero
-   exit fails the workflow before a malformed artifact gets archived.
+(* Schema check for CI-archived JSON artifacts, dispatched on the
+   top-level schema tag:
 
-   Checks: top-level object with schema tag, non-empty rows each
-   carrying a finite ns_per_run, and a parseable non-empty metrics
-   snapshot. *)
+   - probcons-bench/2    the bench harness's --json artifact
+   - probcons-loadgen/1  the service load generator's --json artifact
+
+   CI runs this against both before archiving; a non-zero exit fails
+   the workflow rather than shipping a malformed artifact. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
 
@@ -14,16 +15,83 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let str key doc = Option.bind (Obs.Json.member key doc) Obs.Json.to_string_opt
+let num key doc = Option.bind (Obs.Json.member key doc) Obs.Json.to_float
+let int_field key doc =
+  match Obs.Json.member key doc with Some (Obs.Json.Int i) -> Some i | _ -> None
+
+(* --- probcons-bench/2 -------------------------------------------------- *)
+
 let check_row i row =
-  let str key = Option.bind (Obs.Json.member key row) Obs.Json.to_string_opt in
-  let num key = Option.bind (Obs.Json.member key row) Obs.Json.to_float in
-  (match str "kernel" with
+  (match str "kernel" row with
   | Some _ -> ()
   | None -> fail "row %d: missing kernel" i);
-  match num "ns_per_run" with
+  match num "ns_per_run" row with
   | Some v when Float.is_finite v && v > 0. -> ()
   | Some v -> fail "row %d: ns_per_run not finite and positive (%g)" i v
   | None -> fail "row %d: missing numeric ns_per_run" i
+
+let validate_bench path doc =
+  let rows =
+    match Option.bind (Obs.Json.member "rows" doc) Obs.Json.to_list with
+    | Some [] -> fail "rows is empty"
+    | Some rows -> rows
+    | None -> fail "missing rows list"
+  in
+  List.iteri check_row rows;
+  match Obs.Json.member "metrics" doc with
+  | None -> fail "missing metrics snapshot"
+  | Some metrics -> (
+      match Obs.Metrics.of_json metrics with
+      | Error msg -> fail "metrics snapshot: %s" msg
+      | Ok [] -> fail "metrics snapshot is empty"
+      | Ok samples ->
+          Printf.printf "%s: OK (%d rows, %d metric samples)\n" path
+            (List.length rows) (List.length samples))
+
+(* --- probcons-loadgen/1 ------------------------------------------------ *)
+
+let validate_loadgen path doc =
+  let require_int key =
+    match int_field key doc with
+    | Some i when i >= 0 -> i
+    | Some i -> fail "%s must be non-negative, got %d" key i
+    | None -> fail "missing integer %s" key
+  in
+  (match str "wire" doc with
+  | Some _ -> ()
+  | None -> fail "missing wire protocol name");
+  let clients = require_int "clients" in
+  let total = require_int "requests_total" in
+  let ok = require_int "ok" in
+  let errors = require_int "errors" in
+  let mismatches = require_int "mismatches" in
+  if clients < 1 then fail "clients must be positive";
+  if total < 1 then fail "requests_total must be positive";
+  if ok + errors <> total then
+    fail "ok (%d) + errors (%d) does not account for requests_total (%d)" ok
+      errors total;
+  (match num "throughput_rps" doc with
+  | Some v when Float.is_finite v && v > 0. -> ()
+  | Some v -> fail "throughput_rps not finite and positive (%g)" v
+  | None -> fail "missing numeric throughput_rps");
+  let latency =
+    match Obs.Json.member "latency_seconds" doc with
+    | Some (Obs.Json.Obj _ as l) -> l
+    | Some _ -> fail "latency_seconds must be an object"
+    | None -> fail "missing latency_seconds"
+  in
+  List.iter
+    (fun key ->
+      match num key latency with
+      | Some v when Float.is_finite v && v >= 0. -> ()
+      | Some v -> fail "latency_seconds.%s not finite (%g)" key v
+      | None -> fail "missing numeric latency_seconds.%s" key)
+    [ "p50"; "p90"; "p99"; "max" ];
+  Printf.printf "%s: OK (%d clients, %d requests, %d errors, %d mismatches)\n"
+    path clients total errors mismatches
+
+(* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
   let path =
@@ -38,23 +106,8 @@ let () =
     | Ok doc -> doc
     | Error msg -> fail "%s: %s" path msg
   in
-  (match Option.bind (Obs.Json.member "schema" doc) Obs.Json.to_string_opt with
-  | Some "probcons-bench/2" -> ()
+  match str "schema" doc with
+  | Some "probcons-bench/2" -> validate_bench path doc
+  | Some "probcons-loadgen/1" -> validate_loadgen path doc
   | Some other -> fail "unexpected schema %S" other
-  | None -> fail "missing schema tag");
-  let rows =
-    match Option.bind (Obs.Json.member "rows" doc) Obs.Json.to_list with
-    | Some [] -> fail "rows is empty"
-    | Some rows -> rows
-    | None -> fail "missing rows list"
-  in
-  List.iteri check_row rows;
-  (match Obs.Json.member "metrics" doc with
-  | None -> fail "missing metrics snapshot"
-  | Some metrics -> (
-      match Obs.Metrics.of_json metrics with
-      | Error msg -> fail "metrics snapshot: %s" msg
-      | Ok [] -> fail "metrics snapshot is empty"
-      | Ok samples ->
-          Printf.printf "%s: OK (%d rows, %d metric samples)\n" path
-            (List.length rows) (List.length samples)))
+  | None -> fail "missing schema tag"
