@@ -263,7 +263,9 @@ let to_float = function
 
 let to_int = function
   | Int i -> Some i
-  | Float v when Float.is_integer v -> Some (int_of_float v)
+  | Float v
+    when Float.is_integer v && Float.abs v <= 9007199254740992. (* 2^53 *) ->
+      Some (int_of_float v)
   | _ -> None
 
 let to_list = function List items -> Some items | _ -> None

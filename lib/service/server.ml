@@ -443,9 +443,12 @@ let stop t =
     List.iter
       (fun conn ->
         Mutex.lock conn.write_mutex;
-        if conn.alive then
-          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
-           with Unix.Unix_error _ -> ());
+        (* Shut down even when [alive = false]: a failed reply write
+           clears the flag without closing the fd, and the reader may
+           still be blocked in [Unix.read] on it. Only [remove_conn]
+           closes fds, so a snapshotted conn's fd is still open. *)
+        (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
         Mutex.unlock conn.write_mutex)
       live;
     let readers =

@@ -182,9 +182,13 @@ let parse_groups params =
           (function
             | Obs.Json.List [ count; p ] ->
                 let count =
+                  (* Bound each count before summing: with every count
+                     <= max_fleet_nodes the total below cannot wrap. *)
                   match Obs.Json.to_int count with
-                  | Some c when c >= 1 -> c
-                  | _ -> bad "mix group counts must be positive integers"
+                  | Some c when c >= 1 && c <= max_fleet_nodes -> c
+                  | Some _ ->
+                      bad "mix group counts must be in [1, %d]" max_fleet_nodes
+                  | None -> bad "mix group counts must be positive integers"
                 in
                 let p =
                   match Obs.Json.to_float p with
@@ -237,7 +241,8 @@ let parse_system params =
   | "grid" ->
       let rows = get_int "system rows" (Obs.Json.member "rows" sys) in
       let cols = get_int "system cols" (Obs.Json.member "cols" sys) in
-      if rows < 1 || cols < 1 then bad "grid dimensions must be positive";
+      if rows < 1 || rows > max_enum_nodes || cols < 1 || cols > max_enum_nodes
+      then bad "grid dimensions must be in [1, %d]" max_enum_nodes;
       if rows * cols > max_enum_nodes then
         bad "grid of %d nodes exceeds the %d-node enumeration limit" (rows * cols)
           max_enum_nodes;

@@ -150,6 +150,27 @@ let test_json_parser_rejects_garbage () =
       Alcotest.(check (option string)) "unicode escape" (Some "\xc3\xa9")
         (Option.bind (Obs.Json.member "y" doc) Obs.Json.to_string_opt)
 
+(* [to_int] feeds wire validation (counts, n, rows/cols), so a Float
+   outside the exactly-representable integer range must be rejected
+   rather than converted to an unspecified int. *)
+let test_json_to_int_range () =
+  Alcotest.(check (option int)) "int passthrough" (Some 42)
+    (Obs.Json.to_int (Obs.Json.Int 42));
+  Alcotest.(check (option int)) "integral float" (Some (-7))
+    (Obs.Json.to_int (Obs.Json.Float (-7.)));
+  Alcotest.(check (option int)) "2^53 is exact" (Some 9007199254740992)
+    (Obs.Json.to_int (Obs.Json.Float 9007199254740992.));
+  Alcotest.(check (option int)) "non-integral" None
+    (Obs.Json.to_int (Obs.Json.Float 1.5));
+  Alcotest.(check (option int)) "1e30 rejected" None
+    (Obs.Json.to_int (Obs.Json.Float 1e30));
+  Alcotest.(check (option int)) "-1e30 rejected" None
+    (Obs.Json.to_int (Obs.Json.Float (-1e30)));
+  Alcotest.(check (option int)) "infinity rejected" None
+    (Obs.Json.to_int (Obs.Json.Float Float.infinity));
+  Alcotest.(check (option int)) "nan rejected" None
+    (Obs.Json.to_int (Obs.Json.Float Float.nan))
+
 (* Wire payloads carry user-provided strings, so the printer must
    escape every control character (U+0000–U+001F), quotes and
    backslashes into valid JSON that parses back to the same bytes. *)
@@ -323,6 +344,7 @@ let suite =
     Alcotest.test_case "histogram extremes" `Quick test_histogram_extremes;
     Alcotest.test_case "snapshot jsonl round-trip" `Quick test_snapshot_jsonl_roundtrip;
     Alcotest.test_case "json parser strictness" `Quick test_json_parser_rejects_garbage;
+    Alcotest.test_case "json to_int range" `Quick test_json_to_int_range;
     Alcotest.test_case "json string escaping" `Quick test_json_string_escaping;
     Alcotest.test_case "json depth limit" `Quick test_json_depth_limit;
     QCheck_alcotest.to_alcotest prop_parser_never_raises;

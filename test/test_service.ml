@@ -122,6 +122,19 @@ let test_wire_parse_errors () =
   expect_error
     {|{"v": 1, "kind": "availability", "params": {"system": {"kind": "grid", "rows": 5, "cols": 5}, "p": 0.1}}|}
     Wire.Bad_request ~id:(Some 0);
+  (* Huge group counts must be rejected per group: summing them first
+     would wrap native ints negative and slip past the fleet bound. *)
+  expect_error
+    {|{"v": 1, "kind": "analyze", "params": {"mix": [[4611686018427387903, 0.5], [2, 0.5]]}}|}
+    Wire.Bad_request ~id:(Some 0);
+  expect_error
+    {|{"v": 1, "kind": "analyze", "params": {"mix": [[1e30, 0.5]]}}|}
+    Wire.Bad_request ~id:(Some 0);
+  (* Grid dimensions are bounded individually so rows * cols cannot
+     wrap past the enumeration limit. *)
+  expect_error
+    {|{"v": 1, "kind": "availability", "params": {"system": {"kind": "grid", "rows": 3037000500, "cols": 3037000500}, "p": 0.1}}|}
+    Wire.Bad_request ~id:(Some 0);
   (* Over-long lines are rejected before JSON parsing. *)
   let huge = "{\"v\": 1, \"pad\": \"" ^ String.make Wire.max_line_bytes 'x' ^ "\"}" in
   expect_error huge Wire.Parse_error ~id:None
