@@ -21,26 +21,63 @@ type json_row = {
   engine : string;
   domains : int;
   ns_per_run : float;
+  scenario : string option;
+      (* Repo-relative path of the committed scenario file that drove
+         the kernel, when there is one — what makes the row
+         reproducible from the artifact alone. *)
 }
 
 let json_rows : json_row list ref = ref []
 
-let record_row ~kernel ~n ~engine ~domains ~ns_per_run =
-  json_rows := { kernel; n; engine; domains; ns_per_run } :: !json_rows
+let record_row ?scenario ~kernel ~n ~engine ~domains ~ns_per_run () =
+  json_rows := { kernel; n; engine; domains; ns_per_run; scenario } :: !json_rows
+
+(* ------------------------------------------------- scenario files *)
+
+(* The P1-P3 workloads are committed scenarios, not hardcoded
+   literals: the bench loads them through the same [Scenario.of_json]
+   parser as the CLI and the wire, and the artifact rows carry the
+   file path (validated by tools/validate_bench). *)
+let scenario_dir () =
+  match
+    List.find_opt
+      (fun d -> Sys.file_exists d && Sys.is_directory d)
+      [ "bench/scenarios"; "../bench/scenarios"; "../../bench/scenarios" ]
+  with
+  | Some d -> d
+  | None ->
+      failwith
+        "bench/scenarios not found: run the bench from the repository root"
+
+let load_scenario name =
+  let path = Filename.concat (scenario_dir ()) name in
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Probcons.Scenario.of_string contents with
+  | Ok s -> ("bench/scenarios/" ^ name, s)
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
 
 (* Schema "probcons-bench/2": an object with perf rows plus the metrics
    snapshot of the whole reproduction run, so CI can hold a line on both
    timings and telemetry (tools/validate_bench checks the shape). *)
 let write_json path =
-  let row { kernel; n; engine; domains; ns_per_run } =
+  let row { kernel; n; engine; domains; ns_per_run; scenario } =
     Obs.Json.Obj
-      [
-        ("kernel", Obs.Json.String kernel);
-        ("n", Obs.Json.Int n);
-        ("engine", Obs.Json.String engine);
-        ("domains", Obs.Json.Int domains);
-        ("ns_per_run", Obs.Json.number (Float.round ns_per_run));
-      ]
+      ([
+         ("kernel", Obs.Json.String kernel);
+         ("n", Obs.Json.Int n);
+         ("engine", Obs.Json.String engine);
+         ("domains", Obs.Json.Int domains);
+         ("ns_per_run", Obs.Json.number (Float.round ns_per_run));
+       ]
+      @
+      match scenario with
+      | None -> []
+      | Some path -> [ ("scenario", Obs.Json.String path) ])
   in
   let doc =
     Obs.Json.Obj
@@ -766,12 +803,26 @@ let e20_engine_ablation () =
 let p1_parallel_engine ~quick =
   section "P1. Parallel analysis engine: domains sweep, bit-stable results";
   (* Identity-dependent predicate (stake weights) over an all-Byzantine
-     fleet: the 2^N binary enumeration hot path. --quick drops N so the
-     smoke run stays fast. *)
-  let n = if quick then 18 else 24 in
-  let stakes = Array.init n (fun i -> 1. +. float_of_int (i mod 3)) in
+     fleet: the 2^N binary enumeration hot path. --quick loads the
+     smaller committed scenario so the smoke run stays fast. The full
+     scenario exceeds the registry's interactive stake bound on
+     purpose — the bench drives the engine directly, with the fleet and
+     stakes still coming from the scenario file. *)
+  let scenario_path, scen =
+    load_scenario
+      (if quick then "p1_enumeration_quick.json" else "p1_enumeration.json")
+  in
+  let n = Probcons.Scenario.size scen in
+  let stakes =
+    Array.of_list (Option.get (Probcons.Scenario.stakes scen))
+  in
   let proto = Probcons.Stake_model.protocol (Probcons.Stake_model.make stakes) in
-  let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p:0.02 () in
+  let fleet =
+    Probcons.Scenario.fleet
+      ~byz_fraction:
+        (Option.value (Probcons.Scenario.byz_fraction scen) ~default:1.0)
+      scen
+  in
   let timed ?strategy domains =
     let started = Unix.gettimeofday () in
     let r = Probcons.Analysis.run ?strategy ~domains proto fleet in
@@ -784,8 +835,8 @@ let p1_parallel_engine ~quick =
   let baseline, base_ns = timed ?strategy:enum 1 in
   Printf.printf "  enumeration 2^%d, domains=1: %8.0f ms  [%s]\n" n (base_ns /. 1e6)
     baseline.Probcons.Analysis.engine;
-  record_row ~kernel:"analysis/enumeration-2^N" ~n
-    ~engine:baseline.Probcons.Analysis.engine ~domains:1 ~ns_per_run:base_ns;
+  record_row ~scenario:scenario_path ~kernel:"analysis/enumeration-2^N" ~n
+    ~engine:baseline.Probcons.Analysis.engine ~domains:1 ~ns_per_run:base_ns ();
   List.iter
     (fun domains ->
       let r, ns = timed ?strategy:enum domains in
@@ -798,8 +849,8 @@ let p1_parallel_engine ~quick =
       Printf.printf
         "  enumeration 2^%d, domains=%d: %8.0f ms  %5.2fx  bit-identical: %b  [%s]\n" n
         domains (ns /. 1e6) (base_ns /. ns) identical r.Probcons.Analysis.engine;
-      record_row ~kernel:"analysis/enumeration-2^N" ~n
-        ~engine:r.Probcons.Analysis.engine ~domains ~ns_per_run:ns)
+      record_row ~scenario:scenario_path ~kernel:"analysis/enumeration-2^N" ~n
+        ~engine:r.Probcons.Analysis.engine ~domains ~ns_per_run:ns ())
     [ 2; 4; 8 ];
   (* Monte Carlo: per-chunk streams from (seed, chunk) keep the estimate
      seed-reproducible whatever the lane count. *)
@@ -811,10 +862,10 @@ let p1_parallel_engine ~quick =
     "  monte-carlo %d trials, domains=1: %6.0f ms; domains=8: %6.0f ms  %5.2fx  identical: %b\n"
     trials (mc1_ns /. 1e6) (mc8_ns /. 1e6) (mc1_ns /. mc8_ns)
     (Float.equal mc1.Probcons.Analysis.p_safe_live mc8.Probcons.Analysis.p_safe_live);
-  record_row ~kernel:"analysis/monte-carlo" ~n ~engine:mc1.Probcons.Analysis.engine
-    ~domains:1 ~ns_per_run:mc1_ns;
-  record_row ~kernel:"analysis/monte-carlo" ~n ~engine:mc8.Probcons.Analysis.engine
-    ~domains:8 ~ns_per_run:mc8_ns;
+  record_row ~scenario:scenario_path ~kernel:"analysis/monte-carlo" ~n
+    ~engine:mc1.Probcons.Analysis.engine ~domains:1 ~ns_per_run:mc1_ns ();
+  record_row ~scenario:scenario_path ~kernel:"analysis/monte-carlo" ~n
+    ~engine:mc8.Probcons.Analysis.engine ~domains:8 ~ns_per_run:mc8_ns ();
   (* Sweep grids fan cells out over the same pool. *)
   let sweep_timed domains =
     let started = Unix.gettimeofday () in
@@ -828,9 +879,9 @@ let p1_parallel_engine ~quick =
   Printf.printf "  pbft sweep 5x5 grid, domains=1: %6.1f ms; domains=8: %6.1f ms  %5.2fx\n"
     (sweep1 /. 1e6) (sweep8 /. 1e6) (sweep1 /. sweep8);
   record_row ~kernel:"sweep/pbft-grid-5x5" ~n:10 ~engine:"count-dp-cells" ~domains:1
-    ~ns_per_run:sweep1;
+    ~ns_per_run:sweep1 ();
   record_row ~kernel:"sweep/pbft-grid-5x5" ~n:10 ~engine:"count-dp-cells" ~domains:8
-    ~ns_per_run:sweep8;
+    ~ns_per_run:sweep8 ();
   print_endline
     "  (chunk boundaries and reduction order are fixed by the instance, so every\n\
     \   domain count produces bit-identical exact results; wall-clock gains track\n\
@@ -844,8 +895,11 @@ let p2_obs_overhead ~quick =
      events, network sends, protocol counters). With the registry
      disabled each record site costs one atomic load and a branch; the
      off/on rows land in the --json artifact so CI can watch the gap. *)
+  let scenario_path, scen = load_scenario "p2_sim.json" in
+  let sim_n = Probcons.Scenario.size scen in
+  let sim_seed = Option.value (Probcons.Scenario.seed scen) ~default:7 in
   let run_sim () =
-    let cluster = Raft_sim.Raft_cluster.create ~n:5 ~seed:7 () in
+    let cluster = Raft_sim.Raft_cluster.create ~n:sim_n ~seed:sim_seed () in
     Raft_sim.Raft_cluster.submit_workload cluster
       ~commands:(List.init 20 (fun i -> 100 + i))
       ~start:500. ~interval:100.;
@@ -867,14 +921,14 @@ let p2_obs_overhead ~quick =
   ignore (time_reps 5);
   let on_ns = time_reps reps in
   Obs.Metrics.set_enabled prev;
-  Printf.printf "  raft n=5 sim, metrics off: %8.0f us/run\n" (off_ns /. 1e3);
-  Printf.printf "  raft n=5 sim, metrics on:  %8.0f us/run  (%+.1f%%)\n"
+  Printf.printf "  raft n=%d sim, metrics off: %8.0f us/run\n" sim_n (off_ns /. 1e3);
+  Printf.printf "  raft n=%d sim, metrics on:  %8.0f us/run  (%+.1f%%)\n" sim_n
     (on_ns /. 1e3)
     ((on_ns -. off_ns) /. off_ns *. 100.);
-  record_row ~kernel:"obs/sim-raft-metrics-off" ~n:5 ~engine:"dessim" ~domains:1
-    ~ns_per_run:off_ns;
-  record_row ~kernel:"obs/sim-raft-metrics-on" ~n:5 ~engine:"dessim" ~domains:1
-    ~ns_per_run:on_ns
+  record_row ~scenario:scenario_path ~kernel:"obs/sim-raft-metrics-off" ~n:sim_n
+    ~engine:"dessim" ~domains:1 ~ns_per_run:off_ns ();
+  record_row ~scenario:scenario_path ~kernel:"obs/sim-raft-metrics-on" ~n:sim_n
+    ~engine:"dessim" ~domains:1 ~ns_per_run:on_ns ()
 
 (* ---------------------------------------------------------------- P3 *)
 
@@ -884,9 +938,9 @@ let p3_service ~quick =
      line, derive its cache key, hit the LRU, and finally a full
      client->server->client round-trip over a Unix socket (cached, so
      the protocol overhead dominates, not the analysis). *)
-  let query =
-    Service.Wire.Analyze { protocol = Service.Wire.Raft; groups = [ (7, 0.02) ] }
-  in
+  let scenario_path, scen = load_scenario "p3_service.json" in
+  let svc_n = Probcons.Scenario.size scen in
+  let query = Service.Wire.Analyze { scenario = scen } in
   let line = Service.Wire.encode_request { Service.Wire.id = 1; query } in
   let time_ns reps f =
     let t0 = Unix.gettimeofday () in
@@ -898,19 +952,19 @@ let p3_service ~quick =
   let reps = if quick then 20_000 else 200_000 in
   let parse_ns = time_ns reps (fun () -> ignore (Service.Wire.parse_request line)) in
   Printf.printf "  wire parse+validate:      %8.0f ns/req\n" parse_ns;
-  record_row ~kernel:"service/wire-parse" ~n:7 ~engine:"json" ~domains:1
-    ~ns_per_run:parse_ns;
+  record_row ~scenario:scenario_path ~kernel:"service/wire-parse" ~n:svc_n
+    ~engine:"json" ~domains:1 ~ns_per_run:parse_ns ();
   let key_ns = time_ns reps (fun () -> ignore (Service.Wire.canonical_key query)) in
   Printf.printf "  canonical cache key:      %8.0f ns/req\n" key_ns;
-  record_row ~kernel:"service/canonical-key" ~n:7 ~engine:"json" ~domains:1
-    ~ns_per_run:key_ns;
+  record_row ~scenario:scenario_path ~kernel:"service/canonical-key" ~n:svc_n
+    ~engine:"json" ~domains:1 ~ns_per_run:key_ns ();
   let cache = Service.Cache.create ~capacity:1024 () in
   let key = Service.Wire.canonical_key query in
   Service.Cache.add cache key "{\"payload\": true}";
   let hit_ns = time_ns reps (fun () -> ignore (Service.Cache.find cache key)) in
   Printf.printf "  LRU cache hit:            %8.0f ns/req\n" hit_ns;
   record_row ~kernel:"service/cache-hit" ~n:1 ~engine:"lru" ~domains:1
-    ~ns_per_run:hit_ns;
+    ~ns_per_run:hit_ns ();
   let socket =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "probcons-bench-%d.sock" (Unix.getpid ()))
@@ -932,8 +986,8 @@ let p3_service ~quick =
           let rt_ns = time_ns rt_reps (fun () -> ignore (Service.Client.call_raw c line)) in
           Printf.printf "  unix-socket round-trip:   %8.0f ns/req (%.0f req/s, cached)\n"
             rt_ns (1e9 /. rt_ns);
-          record_row ~kernel:"service/roundtrip-unix" ~n:7 ~engine:"unix-socket"
-            ~domains:2 ~ns_per_run:rt_ns))
+          record_row ~scenario:scenario_path ~kernel:"service/roundtrip-unix"
+            ~n:svc_n ~engine:"unix-socket" ~domains:2 ~ns_per_run:rt_ns ()))
 
 (* ------------------------------------------------- Bechamel kernels *)
 

@@ -5,7 +5,14 @@
 
 open Cmdliner
 
-let version = "1.0.0"
+let version = "1.1.0"
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("probcons: " ^ msg);
+      exit 2)
+    fmt
 
 (* Every subcommand gets [--version], reporting the package version
    (the wire-protocol version travels with it via [probcons version]). *)
@@ -82,44 +89,149 @@ let mix_arg =
           "Heterogeneous fleet: comma-separated groups, each COUNTxPROB (e.g. \
            4x0.08,3x0.01). Overrides --n/--p.")
 
+(* --- Scenario-driven commands -------------------------------------- *)
+
+let read_scenario_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> die "%s" msg
+  | contents -> (
+      match Probcons.Scenario.of_string contents with
+      | Ok s -> s
+      | Error msg -> die "%s: %s" path msg)
+
+let scenario_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"FILE"
+        ~doc:
+          "Read the deployment scenario from $(docv) — the canonical JSON \
+           form shared with the wire protocol and the bench. Overrides the \
+           flag-built scenario.")
+
+let proto_name_arg =
+  Arg.(
+    value
+    & opt string "raft"
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:
+          (Printf.sprintf "Protocol model: one of %s (see $(b,protocols))."
+             (String.concat ", " Probcons.Registry.names)))
+
 let analyze_cmd =
-  let run proto n p mix () =
-    let fleet =
-      if mix = [] then
-        Faultmodel.Fleet.uniform
-          ~byz_fraction:(match proto with `Pbft -> 1.0 | `Raft -> 0.0)
-          ~n ~p ()
-      else begin
-        let nodes =
-          List.concat_map
-            (fun (count, prob) ->
-              List.init count (fun _ ->
-                  Faultmodel.Node.make ~id:0
-                    ~byz_fraction:(match proto with `Pbft -> 1.0 | `Raft -> 0.0)
-                    (Faultmodel.Fault_curve.constant prob)))
-            mix
-        in
-        Faultmodel.Fleet.of_nodes nodes
-      end
-    in
-    let size = Faultmodel.Fleet.size fleet in
-    let protocol =
-      match proto with
-      | `Raft -> Probcons.Raft_model.protocol (Probcons.Raft_model.default size)
-      | `Pbft -> Probcons.Pbft_model.protocol (Probcons.Pbft_model.default size)
-    in
-    let result = Probcons.Analysis.run protocol fleet in
-    Format.printf "%a@." Probcons.Analysis.pp_result result;
-    Format.printf "nines: safe %.2f, live %.2f, safe&live %.2f@."
-      (Prob.Nines.of_prob result.Probcons.Analysis.p_safe)
-      (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
-      (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live)
+  let byz_fraction_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "byz-fraction" ] ~docv:"F"
+          ~doc:
+            "Fraction of each node's fault probability that is Byzantine \
+             rather than crash (default: the protocol's registry default).")
   in
-  let term = with_metrics Term.(const run $ protocol_arg $ n_arg $ p_arg $ mix_arg) in
+  let quorum_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "quorum" ] ~docv:"KEY=SIZE"
+          ~doc:
+            "Quorum override, repeatable (e.g. --quorum q_vc=4 for raft, \
+             --quorum u=2 --quorum r=1 for upright).")
+  in
+  let seed_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for Monte-Carlo engines.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the canonical JSON payload — byte-identical to the query \
+             service's reply for the same scenario.")
+  in
+  let run proto n p mix byz_fraction quorums seed scenario_file json () =
+    let scenario =
+      match scenario_file with
+      | Some path -> read_scenario_file path
+      | None -> (
+          let mix = if mix = [] then [ (n, p) ] else mix in
+          match
+            Probcons.Scenario.make ?byz_fraction ~quorums ?seed ~protocol:proto
+              ~mix ()
+          with
+          | Ok s -> s
+          | Error msg -> die "%s" msg)
+    in
+    if json then
+      match Probcons.Registry.analyze_json scenario with
+      | Ok payload -> print_endline (Obs.Json.to_string payload)
+      | Error msg -> die "%s" msg
+    else
+      match Probcons.Registry.analyze scenario with
+      | Error msg -> die "%s" msg
+      | Ok result ->
+          Format.printf "%a@." Probcons.Analysis.pp_result result;
+          Format.printf "nines: safe %.2f, live %.2f, safe&live %.2f@."
+            (Prob.Nines.of_prob result.Probcons.Analysis.p_safe)
+            (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
+            (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live)
+  in
+  let term =
+    with_metrics
+      Term.(
+        const run $ proto_name_arg $ n_arg $ p_arg $ mix_arg $ byz_fraction_arg
+        $ quorum_arg $ seed_opt_arg $ scenario_file_arg $ json_arg)
+  in
   Cmd.v
     (cmd_info "analyze"
-       ~doc:"Probabilistic safety/liveness of a Raft or PBFT deployment.")
+       ~doc:
+         "Probabilistic safety/liveness of any registered protocol \
+          deployment.")
     term
+
+(* --- protocols ------------------------------------------------------ *)
+
+let protocols_cmd =
+  let names_arg =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:"Print one bare protocol name per line (for scripts).")
+  in
+  let run names_only () =
+    if names_only then List.iter print_endline Probcons.Registry.names
+    else begin
+      let t =
+        Probcons.Report.create
+          ~header:[ "name"; "byz-default"; "max-n"; "quorum keys"; "description" ]
+      in
+      List.iter
+        (fun ((module M) : Probcons.Registry.entry) ->
+          Probcons.Report.add_row t
+            [
+              M.name;
+              Printf.sprintf "%g" M.default_byz_fraction;
+              string_of_int M.max_nodes;
+              (match M.quorum_keys with
+              | [] -> "-"
+              | keys -> String.concat "," keys);
+              M.doc;
+            ])
+        Probcons.Registry.all;
+      Probcons.Report.print ~title:"Protocol registry" t
+    end
+  in
+  Cmd.v
+    (cmd_info "protocols"
+       ~doc:"List the protocol registry: every model analyze/serve answer for.")
+    (with_metrics Term.(const run $ names_arg))
 
 (* --- tables --------------------------------------------------------- *)
 
@@ -412,34 +524,68 @@ let sweep_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
-  let run kind csv () =
+  let run kind csv scenario_file () =
     let ns = [ 3; 5; 7; 9; 11 ] and ps = [ 0.005; 0.01; 0.02; 0.04; 0.08 ] in
     let table =
-      match kind with
-      | `Raft -> Probcons.Sweep.raft_grid ~ns ~ps ()
-      | `Pbft -> Probcons.Sweep.pbft_grid ~ns:[ 4; 5; 7; 8; 10 ] ~ps ()
-      | `Pbft_detail ->
-          Probcons.Sweep.pbft_safety_liveness_grid ~ns:[ 4; 5; 7; 8; 10 ] ~p:0.01 ()
-      | `Frontier ->
-          Probcons.Sweep.min_cluster_frontier
-            ~targets:(List.map Prob.Nines.to_prob [ 2.; 3.; 4.; 5. ])
-            ~ps ()
+      match scenario_file with
+      | Some path ->
+          (* Sweep any registered protocol: the file fixes the base
+             scenario (protocol, overrides, byz split); the grid axes
+             rewrite the fleet, so every cell is a registry analysis
+             of a transformed scenario. *)
+          let base = read_scenario_file path in
+          Probcons.Sweep.scenario_grid ~row_label:"N" ~base
+            ~rows:
+              (List.map
+                 (fun n ->
+                   (string_of_int n, Probcons.Scenario.with_mix [ (n, 0.01) ]))
+                 ns)
+            ~cols:
+              (List.map
+                 (fun p ->
+                   (Printf.sprintf "p=%g" p, Probcons.Scenario.with_p p))
+                 ps)
+            ()
+      | None -> (
+          match kind with
+          | `Raft -> Probcons.Sweep.raft_grid ~ns ~ps ()
+          | `Pbft -> Probcons.Sweep.pbft_grid ~ns:[ 4; 5; 7; 8; 10 ] ~ps ()
+          | `Pbft_detail ->
+              Probcons.Sweep.pbft_safety_liveness_grid ~ns:[ 4; 5; 7; 8; 10 ]
+                ~p:0.01 ()
+          | `Frontier ->
+              Probcons.Sweep.min_cluster_frontier
+                ~targets:(List.map Prob.Nines.to_prob [ 2.; 3.; 4.; 5. ])
+                ~ps ())
     in
     print_string
       (if csv then Probcons.Report.to_csv table else Probcons.Report.render table)
   in
   Cmd.v
     (cmd_info "sweep" ~doc:"Reliability grids across cluster sizes and fault rates.")
-    (with_metrics Term.(const run $ kind_arg $ csv_arg))
+    (with_metrics Term.(const run $ kind_arg $ csv_arg $ scenario_file_arg))
 
 (* --- plan -------------------------------------------------------------- *)
 
 let plan_cmd =
-  let run target_nines mix seed () =
-    let fleet =
-      if mix = [] then Faultmodel.Fleet.mixed [ (3, 0.001); (8, 0.02); (5, 0.10) ]
-      else Faultmodel.Fleet.mixed mix
+  let run target_nines mix seed scenario_file () =
+    (* The fleet description funnels through the scenario validator —
+       the same bounds as analyze and the wire. *)
+    let mix, seed =
+      match scenario_file with
+      | Some path ->
+          let s = read_scenario_file path in
+          ( Probcons.Scenario.mix s,
+            Option.value (Probcons.Scenario.seed s) ~default:seed )
+      | None -> (
+          let mix =
+            if mix = [] then [ (3, 0.001); (8, 0.02); (5, 0.10) ] else mix
+          in
+          match Probcons.Scenario.validate_mix mix with
+          | Ok () -> (mix, seed)
+          | Error msg -> die "%s" msg)
     in
+    let fleet = Faultmodel.Fleet.mixed mix in
     let target = Prob.Nines.to_prob target_nines in
     match Probnative.Planner.plan ~target fleet with
     | Some plan ->
@@ -455,7 +601,8 @@ let plan_cmd =
        ~doc:
          "Plan a probability-native deployment (committee, quorums, leader order) \
           and execute it once on the simulator.")
-    (with_metrics Term.(const run $ target_nines_arg $ mix_arg $ seed_arg))
+    (with_metrics
+       Term.(const run $ target_nines_arg $ mix_arg $ seed_arg $ scenario_file_arg))
 
 (* --- serve / loadgen / version ----------------------------------------- *)
 
@@ -599,9 +746,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "probcons" ~version ~doc)
     [
-      analyze_cmd; tables_cmd; optimize_cmd; markov_cmd; simulate_cmd; committee_cmd;
-      benor_cmd; mixed_cmd; endtoend_cmd; bounds_cmd; plan_cmd; sweep_cmd;
-      serve_cmd; loadgen_cmd; version_cmd;
+      analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
+      simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
+      bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,82 @@
+(** The protocol registry: every analyzable protocol model as a
+    first-class module, dispatchable by name.
+
+    The model family keeps growing (the motivation papers alone span
+    CFT, BFT, forensic, dual-threshold, randomized and stake-weighted
+    protocols), so "which protocols exist" must be data, not a variant
+    type spread over four entry points. A registry entry packages a
+    protocol's name, its documentation, its per-model defaults (the
+    crash/Byzantine split, node-count bound, quorum-override keys) and
+    the function from a {!Scenario} to an analysis result. The CLI, the
+    query service, sweeps and the bench all dispatch through {!find} —
+    adding a protocol is one entry in {!all}.
+
+    Payloads: {!analyze_json} is the {e single} renderer of analysis
+    results, so a CLI [analyze --json], a service reply, and a bench
+    row for the same scenario are byte-identical by construction. *)
+
+module type Protocol_model = sig
+  val name : string
+  (** Registry key, as written in [Scenario.protocol]. *)
+
+  val doc : string
+  (** One-line description for [probcons protocols]. *)
+
+  val default_byz_fraction : float
+  (** Fault-class split used when the scenario leaves [byz_fraction]
+      unset: the fraction of each node's fault probability treated as
+      Byzantine rather than crash. CFT models default to 0 (their
+      analysis assumes crashes), full-BFT models to 1 (every fault
+      spends the Byzantine budget); Upright uses the paper's mixed
+      figure. *)
+
+  val max_nodes : int
+  (** Largest fleet the model analyzes interactively (enumeration-path
+      models cap below [Scenario.max_fleet_nodes]). *)
+
+  val quorum_keys : string list
+  (** Quorum-override keys the model accepts (e.g. ["q_per"; "q_vc"]
+      for Raft, ["u"; "r"] for Upright); any other key in the scenario
+      is rejected. *)
+
+  val protocol_of : Scenario.t -> (Protocol.t, string) result
+  (** The validated predicate model, for callers that drive the
+      analysis engine directly (bench strategy comparisons). [Error]
+      for models with no predicate form (quorum availability). *)
+
+  val validate : Scenario.t -> (unit, string) result
+  (** Full scenario-against-model validation without running anything:
+      node bound, quorum keys and values, stakes applicability. *)
+
+  val analyze : ?domains:int -> Scenario.t -> (Analysis.result, string) result
+  (** Validate and run. Deterministic: equal scenarios yield equal
+      results for every [?domains]. *)
+end
+
+type entry = (module Protocol_model)
+
+val all : entry list
+(** raft, pbft, pbft-forensics, upright, benor, stake,
+    quorum-availability — in that order. *)
+
+val names : string list
+val find : string -> entry option
+
+val validate : Scenario.t -> (unit, string) result
+(** Dispatch on the scenario's protocol name; unknown names are an
+    [Error] listing the known ones. *)
+
+val analyze : ?domains:int -> Scenario.t -> (Analysis.result, string) result
+
+val protocol_of : Scenario.t -> (Protocol.t, string) result
+
+val fleet_of : Scenario.t -> (Faultmodel.Fleet.t, string) result
+(** The scenario's fleet with the model-resolved [byz_fraction]. *)
+
+val payload : n:int -> Analysis.result -> Obs.Json.t
+(** The one canonical result rendering: [protocol], [n], [engine],
+    [p_safe], [p_live], [p_safe_live], [nines] in that order. *)
+
+val analyze_json : ?domains:int -> Scenario.t -> (Obs.Json.t, string) result
+(** [analyze] composed with {!payload} — what the service, the CLI
+    [--json] mode and the bench all emit. *)

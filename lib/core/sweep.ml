@@ -24,31 +24,45 @@ let grid_cells ?domains ~rows ~cols cell =
   List.init n_rows (fun r ->
       List.init n_cols (fun c -> flat.((r * n_cols) + c)))
 
-let raft_grid ?domains ~ns ~ps () =
-  let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
+(* Sweep cells answer through the registry — the same
+   scenario-to-result path the CLI and the query service use — so a
+   grid cell and a served reply for the same scenario are the same
+   number by construction. Cells that fail model validation (e.g. a
+   PBFT column at n=3) render as "-". *)
+let run_cell s =
+  match Registry.analyze ~domains:1 s with
+  | Ok r -> r
+  | Error msg -> invalid_arg ("Sweep: " ^ msg)
+
+let scenario_grid ?domains ?(row_label = "scenario") ~base ~rows ~cols () =
+  let header = row_label :: List.map fst cols in
   let t = Report.create ~header in
   let cells =
-    grid_cells ?domains ~rows:ns ~cols:ps (fun n p ->
-        pct (Raft_model.safe_and_live_uniform ~n ~p))
+    grid_cells ?domains ~rows ~cols (fun (_, row) (_, col) ->
+        match Registry.analyze ~domains:1 (col (row base)) with
+        | Ok r -> pct r.Analysis.p_safe_live
+        | Error _ -> "-")
   in
   List.iter2
-    (fun n row -> Report.add_row t (string_of_int n :: row))
-    ns cells;
+    (fun (label, _) row -> Report.add_row t (label :: row))
+    rows cells;
   t
 
+let uniform_axes ~ns ~ps =
+  ( List.map
+      (fun n -> (string_of_int n, Scenario.with_mix [ (n, 0.01) ]))
+      ns,
+    List.map (fun p -> (Printf.sprintf "p=%g" p, Scenario.with_p p)) ps )
+
+let raft_grid ?domains ~ns ~ps () =
+  let rows, cols = uniform_axes ~ns ~ps in
+  let base = Scenario.uniform ~protocol:"raft" ~n:3 ~p:0.01 () in
+  scenario_grid ?domains ~row_label:"N" ~base ~rows ~cols ()
+
 let pbft_grid ?domains ~ns ~ps () =
-  let header = "N" :: List.map (fun p -> Printf.sprintf "p=%g" p) ps in
-  let t = Report.create ~header in
-  let cells =
-    grid_cells ?domains ~rows:ns ~cols:ps (fun n p ->
-        let proto = Pbft_model.protocol (Pbft_model.default n) in
-        let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
-        pct (Analysis.run ~domains:1 proto fleet).Analysis.p_safe_live)
-  in
-  List.iter2
-    (fun n row -> Report.add_row t (string_of_int n :: row))
-    ns cells;
-  t
+  let rows, cols = uniform_axes ~ns ~ps in
+  let base = Scenario.uniform ~protocol:"pbft" ~n:4 ~p:0.01 () in
+  scenario_grid ?domains ~row_label:"N" ~base ~rows ~cols ()
 
 let pbft_safety_liveness_grid ?domains ~ns ~p () =
   let t = Report.create ~header:[ "N"; "safe"; "live"; "safe&live"; "safe-or-accountable" ] in
@@ -56,12 +70,9 @@ let pbft_safety_liveness_grid ?domains ~ns ~p () =
     Parallel.Pool.map ?domains (List.length ns) (fun i ->
         timed_cell @@ fun () ->
         let n = List.nth ns i in
-        let params = Pbft_model.default n in
-        let fleet = Faultmodel.Fleet.uniform ~byz_fraction:1.0 ~n ~p () in
-        let r = Analysis.run ~domains:1 (Pbft_model.protocol params) fleet in
-        let forensic =
-          Analysis.run ~domains:1 (Pbft_model.safe_or_accountable params) fleet
-        in
+        let s = Scenario.uniform ~protocol:"pbft" ~n ~p () in
+        let r = run_cell s in
+        let forensic = run_cell (Scenario.with_protocol "pbft-forensics" s) in
         [
           string_of_int n;
           pct r.Analysis.p_safe;

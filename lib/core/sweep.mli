@@ -5,11 +5,29 @@
     fault probabilities, and the minimum cluster size meeting a target
     at each fault probability.
 
-    Every (n, p) cell is an independent [Analysis.run], so grids are
-    evaluated concurrently on the domain pool; [?domains] caps the
-    lanes (default {!Parallel.Pool.default}, [PROBCONS_DOMAINS]-aware).
-    Cell values are computed by the deterministic chunked engines, so
-    the tables are identical for every lane count. *)
+    A grid is a base {!Scenario} plus two axes of scenario
+    transformers: every cell re-analyzes the transformed scenario
+    through {!Registry.analyze}, the same path the CLI and query
+    service answer through, so a cell and a served reply for the same
+    scenario are the same number by construction. Cells are
+    independent, so grids are evaluated concurrently on the domain
+    pool; [?domains] caps the lanes (default {!Parallel.Pool.default},
+    [PROBCONS_DOMAINS]-aware). Cell values are computed by the
+    deterministic chunked engines, so the tables are identical for
+    every lane count. *)
+
+val scenario_grid :
+  ?domains:int ->
+  ?row_label:string ->
+  base:Scenario.t ->
+  rows:(string * (Scenario.t -> Scenario.t)) list ->
+  cols:(string * (Scenario.t -> Scenario.t)) list ->
+  unit ->
+  Report.t
+(** The general grid: each cell is [col (row base)] analyzed through
+    the registry, rendered as a percent of P(safe and live); cells
+    whose scenario the model rejects render as ["-"]. Axis entries
+    carry their header/row label. *)
 
 val raft_grid : ?domains:int -> ns:int list -> ps:float list -> unit -> Report.t
 (** Safe-and-live probability of standard Raft for every (n, p) cell —

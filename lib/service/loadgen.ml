@@ -13,14 +13,16 @@ type result = {
 
 (* Cheap, pairwise-distinct analysis queries: small odd fleets with
    distinct fault probabilities, so each pool slot is its own cache
-   entry but no slot costs more than a count-DP over n <= 11. *)
+   entry but no slot costs more than a count-DP over n <= 11. Requests
+   are built from real scenarios and encoded through
+   [Scenario.to_json], so the generator exercises the server's actual
+   cache-key canonicalization, not a hand-built string. *)
 let query_pool distinct =
   Array.init distinct (fun i ->
-      Wire.Analyze
-        {
-          protocol = Wire.Raft;
-          groups = [ ((2 * (i mod 5)) + 3, 0.01 +. (0.001 *. float_of_int i)) ];
-        })
+      let mix = [ ((2 * (i mod 5)) + 3, 0.01 +. (0.001 *. float_of_int i)) ] in
+      match Probcons.Scenario.make ~protocol:"raft" ~mix () with
+      | Ok scenario -> Wire.Analyze { scenario }
+      | Error msg -> invalid_arg ("Loadgen.query_pool: " ^ msg))
 
 let json_field name = function
   | Obs.Json.Obj fields -> List.assoc_opt name fields

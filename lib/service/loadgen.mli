@@ -13,6 +13,13 @@
     hit-rate, so the acceptance criterion (>90% hits on repeated
     queries) is measured server-side, not inferred. *)
 
+val query_pool : int -> Wire.query array
+(** The request corpus: [query_pool distinct] builds that many
+    pairwise-distinct analyze scenarios (encoded via
+    [Probcons.Scenario.to_json] — the real canonical encoder, so the
+    server's cache-key canonicalization is what gets load-tested).
+    Exposed for tests. *)
+
 type result = {
   clients : int;
   requests_total : int;  (** Issued across all clients. *)

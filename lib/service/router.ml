@@ -11,26 +11,6 @@ let fleet_of_groups ~byz_fraction groups =
 
 let nines p = ("nines", Obs.Json.number (Prob.Nines.of_prob p))
 
-let analyze ~protocol ~groups =
-  let byz_fraction = match protocol with Wire.Pbft -> 1.0 | Wire.Raft -> 0.0 in
-  let fleet = fleet_of_groups ~byz_fraction groups in
-  let n = Faultmodel.Fleet.size fleet in
-  let proto =
-    match protocol with
-    | Wire.Raft -> Probcons.Raft_model.protocol (Probcons.Raft_model.default n)
-    | Wire.Pbft -> Probcons.Pbft_model.protocol (Probcons.Pbft_model.default n)
-  in
-  let r = Probcons.Analysis.run proto fleet in
-  Obs.Json.Obj
-    [
-      ("protocol", Obs.Json.String r.Probcons.Analysis.protocol);
-      ("n", Obs.Json.Int n);
-      ("engine", Obs.Json.String r.Probcons.Analysis.engine);
-      ("p_safe", Obs.Json.number r.Probcons.Analysis.p_safe);
-      ("p_live", Obs.Json.number r.Probcons.Analysis.p_live);
-      ("p_safe_live", Obs.Json.number r.Probcons.Analysis.p_safe_live);
-      nines r.Probcons.Analysis.p_safe_live;
-    ]
 
 let availability ~system ~probs =
   let qs =
@@ -127,10 +107,21 @@ let handle query =
   Obs.Metrics.incr m_handled;
   match query with
   | Wire.Stats -> Error (Wire.Internal, "stats is answered by the server")
+  | Wire.Analyze { scenario } -> (
+      (* Dispatch through the protocol registry: the model's own
+         byz_fraction default (overridable per scenario), the model's
+         own bounds, and the registry's single payload renderer — the
+         same bytes [probcons analyze --json] prints. Wire already
+         validated the scenario at parse time, so an [Error] here is a
+         registry-level rejection surfaced as [Bad_request]. *)
+      match Probcons.Registry.analyze_json scenario with
+      | Ok payload -> Ok payload
+      | Error msg -> Error (Wire.Bad_request, msg)
+      | exception e -> Error (Wire.Internal, Printexc.to_string e))
   | _ -> (
       match
         match query with
-        | Wire.Analyze { protocol; groups } -> analyze ~protocol ~groups
+        | Wire.Analyze _ -> assert false
         | Wire.Availability { system; probs } -> availability ~system ~probs
         | Wire.Committee { target_nines; groups } -> committee ~target_nines ~groups
         | Wire.Quorum_size { target_live_nines; groups } ->

@@ -1,5 +1,3 @@
-type protocol = Raft | Pbft
-
 type system =
   | Majority of int
   | Threshold of { n : int; k : int }
@@ -9,7 +7,7 @@ type system =
 type probs = Uniform of float | Per_node of float list
 
 type query =
-  | Analyze of { protocol : protocol; groups : (int * float) list }
+  | Analyze of { scenario : Probcons.Scenario.t }
   | Availability of { system : system; probs : probs }
   | Committee of { target_nines : float; groups : (int * float) list }
   | Quorum_size of { target_live_nines : float; groups : (int * float) list }
@@ -27,7 +25,8 @@ type error_code =
   | Shutting_down
   | Internal
 
-let protocol_version = 1
+let protocol_version = 2
+let min_protocol_version = 1
 let protocol_name = Printf.sprintf "probcons-wire/%d" protocol_version
 let max_line_bytes = 1 lsl 20
 
@@ -59,8 +58,10 @@ type request = { id : int; query : query }
 (* Every query must terminate quickly on the worker: fleets are capped
    where the count-DP engine stays O(n^3), and subset-enumerating
    quorum systems where 2^n stays interactive. Out-of-bounds params are
-   a [bad_request], not a hung worker. *)
-let max_fleet_nodes = 200
+   a [bad_request], not a hung worker. The fleet bound is the scenario
+   layer's (one validator for CLI, wire and files); per-model bounds
+   come from the registry at parse time. *)
+let max_fleet_nodes = Probcons.Scenario.max_fleet_nodes
 let max_enum_nodes = 22
 let max_threshold_nodes = 1000
 let max_markov_nodes = 64
@@ -105,11 +106,13 @@ let json_probs = function
    both the request encoding and (prefixed by the kind) the cache key,
    so semantically identical queries collapse to one entry. *)
 let query_params = function
-  | Analyze { protocol; groups } ->
-      [
-        ("protocol", Obs.Json.String (match protocol with Raft -> "raft" | Pbft -> "pbft"));
-        ("mix", json_groups groups);
-      ]
+  | Analyze { scenario } -> (
+      (* Analyze params ARE the canonical scenario encoding: a
+         [--scenario FILE] body, these params and the cache key are the
+         same bytes. *)
+      match Probcons.Scenario.to_json scenario with
+      | Obs.Json.Obj fields -> fields
+      | _ -> assert false)
   | Availability { system; probs } ->
       [ ("system", json_system system); json_probs probs ]
   | Committee { target_nines; groups } ->
@@ -172,43 +175,13 @@ let check_nines name v =
   v
 
 (* Fleet params: either the [n]/[p] shorthand or an explicit [mix] of
-   [[count, p], ...] groups; both normalize to the group list. *)
+   [[count, p], ...] groups; both normalize to the group list. The
+   bounds live in the scenario layer — the one mix validator shared
+   with the CLI and scenario files. *)
 let parse_groups params =
-  let groups =
-    match Obs.Json.member "mix" params with
-    | Some (Obs.Json.List items) ->
-        if items = [] then bad "mix must be non-empty";
-        List.map
-          (function
-            | Obs.Json.List [ count; p ] ->
-                let count =
-                  (* Bound each count before summing: with every count
-                     <= max_fleet_nodes the total below cannot wrap. *)
-                  match Obs.Json.to_int count with
-                  | Some c when c >= 1 && c <= max_fleet_nodes -> c
-                  | Some _ ->
-                      bad "mix group counts must be in [1, %d]" max_fleet_nodes
-                  | None -> bad "mix group counts must be positive integers"
-                in
-                let p =
-                  match Obs.Json.to_float p with
-                  | Some p -> check_prob "mix group probability" p
-                  | None -> bad "mix group probability must be a number"
-                in
-                (count, p)
-            | _ -> bad "mix groups must be [count, probability] pairs")
-          items
-    | Some _ -> bad "mix must be a list of [count, probability] pairs"
-    | None ->
-        let n = get_int "n" (Obs.Json.member "n" params) in
-        if n < 1 then bad "n must be positive";
-        let p = check_prob "p" (get_float "p" (Obs.Json.member "p" params)) in
-        [ (n, p) ]
-  in
-  let total = List.fold_left (fun acc (c, _) -> acc + c) 0 groups in
-  if total > max_fleet_nodes then
-    bad "fleet of %d nodes exceeds the %d-node limit" total max_fleet_nodes;
-  groups
+  match Probcons.Scenario.mix_of_params params with
+  | Ok groups -> groups
+  | Error msg -> bad "%s" msg
 
 let parse_system params =
   let sys =
@@ -278,16 +251,17 @@ let parse_probs ~n params =
 
 let parse_query ~kind ~params =
   match kind with
-  | "analyze" ->
-      let protocol =
-        match
-          Option.bind (Obs.Json.member "protocol" params) Obs.Json.to_string_opt
-        with
-        | Some "raft" | None -> Raft
-        | Some "pbft" -> Pbft
-        | Some other -> bad "unknown protocol %S" other
-      in
-      Analyze { protocol; groups = parse_groups params }
+  | "analyze" -> (
+      (* Parse-time rejection: scenario shape first, then the
+         registry's per-model validation (node bounds, quorum keys,
+         stakes), so an out-of-bounds scenario is a [bad_request] here
+         and never reaches a worker. *)
+      match Probcons.Scenario.of_json params with
+      | Error msg -> bad "%s" msg
+      | Ok scenario -> (
+          match Probcons.Registry.validate scenario with
+          | Error msg -> bad "%s" msg
+          | Ok () -> Analyze { scenario }))
   | "availability" ->
       let system = parse_system params in
       Availability { system; probs = parse_probs ~n:(system_size system) params }
@@ -353,7 +327,14 @@ let parse_request line =
         in
         let id_hint = match id with Ok i -> Some i | Error _ -> None in
         match Obs.Json.member "v" doc with
-        | Some (Obs.Json.Int v) when v = protocol_version -> (
+        (* wire/1 requests are accepted and internally upgraded: the
+           v1 analyze params (protocol + mix/n/p) are a subset of the
+           scenario encoding, so they parse to the same query — and
+           therefore the same cache entry and payload bytes — as their
+           wire/2 equivalent. Responses always carry the server's
+           version. *)
+        | Some (Obs.Json.Int v)
+          when v >= min_protocol_version && v <= protocol_version -> (
             match id with
             | Error msg -> Error (None, Bad_request, msg)
             | Ok id -> (

@@ -3,25 +3,34 @@
 
     One request per line, one response per line, in order. A request is
 
-    {v {"v": 1, "id": 7, "kind": "analyze", "params": {...}} v}
+    {v {"v": 2, "id": 7, "kind": "analyze", "params": {...}} v}
 
     and a response is either
 
-    {v {"v": 1, "id": 7, "ok": <payload>} v}
-    {v {"v": 1, "id": 7, "error": {"code": "overloaded", "msg": "..."}} v}
+    {v {"v": 2, "id": 7, "ok": <payload>} v}
+    {v {"v": 2, "id": 7, "error": {"code": "overloaded", "msg": "..."}} v}
 
     [id] is an opaque client-chosen integer echoed back verbatim
-    (default 0 when omitted). [v] must equal {!protocol_version};
-    clients discover the server's version with [probcons version] or
-    the [stats] request kind. Responses to identical requests are
-    byte-identical — the toolkit's determinism guarantee extends across
-    the wire — which is what makes the reply cache a pure win.
+    (default 0 when omitted). [v] must be between
+    {!min_protocol_version} and {!protocol_version}; clients discover
+    the server's version with [probcons version] or the [stats]
+    request kind. Responses to identical requests are byte-identical —
+    the toolkit's determinism guarantee extends across the wire —
+    which is what makes the reply cache a pure win.
+
+    Version 2 makes [analyze] params a full {!Probcons.Scenario}
+    (protocol name dispatched through {!Probcons.Registry}, optional
+    [byz_fraction], [quorums], [stakes], [at], [seed]), so the server
+    answers every registered model. The compatibility rule: a wire/1
+    request is accepted and internally {e upgraded} — its params are a
+    subset of the scenario encoding, so it parses to the same query,
+    hits the same cache entry, and returns a payload byte-identical to
+    its wire/2 equivalent. Responses always carry the server's own
+    version.
 
     Parsing is total: any byte string maps to a request or to a
     structured {!error_code}; the JSON layer bounds nesting depth, and
     {!max_line_bytes} bounds the line length the server will read. *)
-
-type protocol = Raft | Pbft
 
 type system =
   | Majority of int
@@ -31,12 +40,13 @@ type system =
 
 type probs = Uniform of float | Per_node of float list
 
-(** A parsed, validated query in normal form. [groups] is the
-    heterogeneous-fleet normal form [(count, fault_probability) list];
-    the [n]/[p] shorthand in wire params parses to a single group, so
-    semantically identical requests share one cache entry. *)
+(** A parsed, validated query in normal form. [Analyze] carries a full
+    deployment scenario; [groups] elsewhere is the heterogeneous-fleet
+    normal form [(count, fault_probability) list]. The [n]/[p]
+    shorthand in wire params parses to a single group, so semantically
+    identical requests share one cache entry. *)
 type query =
-  | Analyze of { protocol : protocol; groups : (int * float) list }
+  | Analyze of { scenario : Probcons.Scenario.t }
   | Availability of { system : system; probs : probs }
   | Committee of { target_nines : float; groups : (int * float) list }
   | Quorum_size of { target_live_nines : float; groups : (int * float) list }
@@ -46,7 +56,9 @@ type query =
 
 type error_code =
   | Parse_error  (** The line is not valid JSON. *)
-  | Unsupported_version  (** [v] missing or not {!protocol_version}. *)
+  | Unsupported_version
+      (** [v] missing or outside
+          [{!min_protocol_version}..{!protocol_version}]. *)
   | Bad_request  (** Envelope or params malformed / out of bounds. *)
   | Unknown_kind
   | Overloaded  (** Request queue full — explicit backpressure. *)
@@ -55,13 +67,20 @@ type error_code =
   | Internal
 
 val protocol_version : int
-(** 1. *)
+(** 2 — the version the server speaks and stamps on responses. *)
+
+val min_protocol_version : int
+(** 1 — oldest request version still accepted (and upgraded). *)
 
 val protocol_name : string
-(** ["probcons-wire/1"] — the negotiable protocol identifier. *)
+(** ["probcons-wire/2"] — the negotiable protocol identifier. *)
 
 val max_line_bytes : int
 (** Longest request line a server reads before rejecting (1 MiB). *)
+
+val max_fleet_nodes : int
+(** Largest fleet any query may describe — re-exported from
+    {!Probcons.Scenario.max_fleet_nodes}, the single mix validator. *)
 
 val code_string : error_code -> string
 val code_of_string : string -> error_code option

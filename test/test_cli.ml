@@ -34,7 +34,34 @@ let test_tables () =
 let test_analyze () =
   check_contains "analyze --protocol raft -n 3 -p 0.01" [ "safe"; "99.97%" ];
   check_contains "analyze --protocol pbft -n 7 -p 0.02" [ "pbft(n=7"; "count-dp" ];
-  check_contains "analyze --protocol raft --mix 4x0.08,3x0.01" [ "raft(n=7" ]
+  check_contains "analyze --protocol raft --mix 4x0.08,3x0.01" [ "raft(n=7" ];
+  (* Registry dispatch: every model name is a valid --protocol. *)
+  check_contains "analyze --protocol upright -n 7 -p 0.02" [ "upright" ];
+  check_contains "analyze --protocol benor -n 5 -p 0.01" [ "ben-or(n=5" ];
+  check_contains "analyze --protocol quorum-availability -n 5 -p 0.01"
+    [ "threshold(n=5" ]
+
+let test_analyze_rejects_bad_mix () =
+  (* The CLI --mix goes through the same Scenario validator as the wire
+     layer: out-of-range probabilities are an error, not a silent pass. *)
+  let status, output = run_capture "analyze --protocol raft --mix 4x1.5" in
+  Alcotest.(check bool) "nonzero exit" true (status <> 0);
+  Alcotest.(check bool) "names the violation" true
+    (contains output "probability");
+  let status, _ = run_capture "analyze --protocol raft --mix 0x0.5" in
+  Alcotest.(check bool) "zero count rejected" true (status <> 0);
+  let status, output = run_capture "analyze --protocol paxos -n 3 -p 0.01" in
+  Alcotest.(check bool) "unknown protocol rejected" true (status <> 0);
+  Alcotest.(check bool) "lists known protocols" true (contains output "raft")
+
+let test_protocols () =
+  check_contains "protocols"
+    [ "raft"; "pbft"; "pbft-forensics"; "upright"; "benor"; "stake";
+      "quorum-availability" ];
+  let status, output = run_capture "protocols --names" in
+  Alcotest.(check int) "exits 0" 0 status;
+  let lines = String.split_on_char '\n' (String.trim output) in
+  Alcotest.(check int) "seven bare names" 7 (List.length lines)
 
 let test_markov () =
   check_contains "markov -n 5 --afr 0.08" [ "MTTF"; "MTTDL"; "availability" ]
@@ -63,21 +90,107 @@ let test_bad_command_fails () =
   Alcotest.(check bool) "nonzero exit" true (status <> 0)
 
 let test_version () =
-  check_contains "version" [ "probcons 1.0.0"; "probcons-wire/1" ];
+  check_contains "version" [ "probcons 1.1.0"; "probcons-wire/2" ];
   (* Every subcommand answers --version with the package version. *)
   List.iter
-    (fun sub -> check_contains (sub ^ " --version") [ "1.0.0" ])
-    [ "analyze"; "markov"; "sweep"; "serve"; "loadgen"; "version" ]
+    (fun sub -> check_contains (sub ^ " --version") [ "1.1.0" ])
+    [ "analyze"; "protocols"; "markov"; "sweep"; "serve"; "loadgen"; "version" ]
 
 let test_serve_requires_listener () =
   let status, output = run_capture "serve" in
   Alcotest.(check bool) "nonzero exit" true (status <> 0);
   Alcotest.(check bool) "usage hint" true (contains output "--socket")
 
+(* --- Cross-layer byte identity -------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let test_scenario_file () =
+  (* A --scenario file and the equivalent flags print the same bytes:
+     both are the same Scenario value through the same renderer. *)
+  let status, flags =
+    run_capture "analyze --protocol pbft -n 7 -p 0.02 --json"
+  in
+  Alcotest.(check int) "flags exit 0" 0 status;
+  write_file "cli_scenario.json" {|{"protocol": "pbft", "mix": [[7, 0.02]]}|};
+  let status, from_file = run_capture "analyze --scenario cli_scenario.json --json" in
+  Alcotest.(check int) "file exit 0" 0 status;
+  Alcotest.(check string) "identical payloads" flags from_file;
+  (* Malformed scenario files die with a diagnostic, not a traceback. *)
+  write_file "cli_scenario.json" {|{"protocol": "pbft"}|};
+  let status, output = run_capture "analyze --scenario cli_scenario.json" in
+  Alcotest.(check bool) "bad file rejected" true (status <> 0);
+  Alcotest.(check bool) "diagnostic names the file" true
+    (contains output "cli_scenario.json")
+
+let test_cross_layer_identity () =
+  (* The tentpole's payoff: `analyze --json`, a wire/2 reply and a
+     legacy wire/1 reply carry byte-identical payloads, because all
+     three are Registry.analyze_json over the same scenario. *)
+  let status, cli =
+    run_capture "analyze --protocol raft -n 5 -p 0.01 --json"
+  in
+  Alcotest.(check int) "cli exits 0" 0 status;
+  let cli_payload = String.trim cli in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probcons-cli-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Service.Server.start
+      {
+        Service.Server.default_config with
+        Service.Server.socket_path = Some socket;
+        workers = 1;
+        queue_depth = 8;
+        cache_capacity = 16;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop server)
+    (fun () ->
+      let c =
+        Service.Client.connect ~retry_for:5. (Service.Client.Unix_path socket)
+      in
+      Fun.protect
+        ~finally:(fun () -> Service.Client.close c)
+        (fun () ->
+          let call line =
+            match Service.Client.call_raw c line with
+            | Some reply -> reply
+            | None -> Alcotest.failf "no reply to %s" line
+          in
+          let v2 =
+            call
+              {|{"v": 2, "id": 7, "kind": "analyze", "params": {"protocol": "raft", "mix": [[5, 0.01]]}}|}
+          in
+          let v1 =
+            call {|{"v": 1, "id": 7, "kind": "analyze", "params": {"n": 5, "p": 0.01}}|}
+          in
+          (* Same id, same scenario: the full response lines agree even
+             across request versions (responses always carry v2). *)
+          Alcotest.(check string) "wire/1 reply = wire/2 reply" v2 v1;
+          let prefix = {|{"v": 2, "id": 7, "ok": |} in
+          let plen = String.length prefix in
+          Alcotest.(check string) "ok envelope" prefix
+            (String.sub v2 0 plen);
+          let payload = String.sub v2 plen (String.length v2 - plen - 1) in
+          Alcotest.(check string) "CLI --json = service payload" cli_payload
+            payload))
+
 let suite =
   [
     Alcotest.test_case "tables" `Quick test_tables;
     Alcotest.test_case "analyze" `Quick test_analyze;
+    Alcotest.test_case "analyze rejects bad mix" `Quick
+      test_analyze_rejects_bad_mix;
+    Alcotest.test_case "protocols" `Quick test_protocols;
+    Alcotest.test_case "scenario file" `Quick test_scenario_file;
+    Alcotest.test_case "cross-layer identity" `Quick test_cross_layer_identity;
     Alcotest.test_case "markov" `Quick test_markov;
     Alcotest.test_case "simulate" `Quick test_simulate;
     Alcotest.test_case "sweep csv" `Quick test_sweep_csv;

@@ -6,6 +6,7 @@ let () =
       ("faultmodel", Test_faultmodel.suite);
       ("quorum", Test_quorum.suite);
       ("core", Test_core.suite);
+      ("scenario", Test_scenario.suite);
       ("markov", Test_markov.suite);
       ("cost", Test_cost.suite);
       ("sim", Test_sim.suite);

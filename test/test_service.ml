@@ -46,10 +46,21 @@ let code = Alcotest.testable (Fmt.of_to_string Wire.code_string) ( = )
 
 (* --- Wire ----------------------------------------------------------- *)
 
+let scenario ?byz_fraction ?quorums ~protocol mix =
+  match Probcons.Scenario.make ?byz_fraction ?quorums ~protocol ~mix () with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "bad test scenario: %s" msg
+
+let analyze ?byz_fraction ?quorums ~protocol mix =
+  Wire.Analyze { scenario = scenario ?byz_fraction ?quorums ~protocol mix }
+
 let all_queries =
   [
-    Wire.Analyze { protocol = Wire.Raft; groups = [ (5, 0.01) ] };
-    Wire.Analyze { protocol = Wire.Pbft; groups = [ (4, 0.02); (3, 0.08) ] };
+    analyze ~protocol:"raft" [ (5, 0.01) ];
+    analyze ~protocol:"pbft" [ (4, 0.02); (3, 0.08) ];
+    analyze ~byz_fraction:0.5 ~quorums:[ ("q_vc", 4) ] ~protocol:"raft"
+      [ (5, 0.01) ];
+    analyze ~protocol:"upright" [ (7, 0.02) ];
     Wire.Availability
       { system = Wire.Majority 5; probs = Wire.Uniform 0.01 };
     Wire.Availability
@@ -135,6 +146,18 @@ let test_wire_parse_errors () =
   expect_error
     {|{"v": 1, "kind": "availability", "params": {"system": {"kind": "grid", "rows": 3037000500, "cols": 3037000500}, "p": 0.1}}|}
     Wire.Bad_request ~id:(Some 0);
+  (* Scenario-level rejections happen at parse time, before a worker
+     sees the request: unknown protocols and unknown quorum keys are
+     bad_request under both wire versions. *)
+  expect_error
+    {|{"v": 2, "id": 6, "kind": "analyze", "params": {"protocol": "paxos", "n": 3, "p": 0.01}}|}
+    Wire.Bad_request ~id:(Some 6);
+  expect_error
+    {|{"v": 2, "kind": "analyze", "params": {"n": 5, "p": 0.01, "quorums": {"bogus": 3}}}|}
+    Wire.Bad_request ~id:(Some 0);
+  expect_error
+    {|{"v": 2, "kind": "analyze", "params": {"protocol": "stake", "n": 40, "p": 0.01}}|}
+    Wire.Bad_request ~id:(Some 0);
   (* Over-long lines are rejected before JSON parsing. *)
   let huge = "{\"v\": 1, \"pad\": \"" ^ String.make Wire.max_line_bytes 'x' ^ "\"}" in
   expect_error huge Wire.Parse_error ~id:None
@@ -165,6 +188,37 @@ let test_wire_canonical_key () =
     (Wire.canonical_key a.Wire.query <> Wire.canonical_key c.Wire.query);
   Alcotest.(check bool) "stats not cacheable" false (Wire.cacheable Wire.Stats);
   Alcotest.(check bool) "analyze cacheable" true (Wire.cacheable a.Wire.query)
+
+let test_wire_version_upgrade () =
+  (* The compatibility rule: a wire/1 request parses to the same query
+     value as its wire/2 scenario equivalent — same cache key, so the
+     reply payload is byte-identical by construction. *)
+  let v1 =
+    parse_ok
+      {|{"v": 1, "id": 3, "kind": "analyze", "params": {"n": 5, "p": 0.01}}|}
+  in
+  let v2 =
+    parse_ok
+      {|{"v": 2, "id": 3, "kind": "analyze", "params": {"protocol": "raft", "mix": [[5, 0.01]]}}|}
+  in
+  Alcotest.(check bool) "same query value" true (v1.Wire.query = v2.Wire.query);
+  Alcotest.(check string) "same cache key"
+    (Wire.canonical_key v1.Wire.query)
+    (Wire.canonical_key v2.Wire.query);
+  (* Round-tripping a v1 request re-encodes it at the server version. *)
+  let line = Wire.encode_request v1 in
+  Alcotest.(check string) "re-encoded at v2" "{\"v\": 2,"
+    (String.sub line 0 8);
+  (* Non-analyze kinds are also accepted under both versions. *)
+  let m1 =
+    parse_ok
+      {|{"v": 1, "kind": "markov", "params": {"n": 5, "afr": 0.04, "mttr_hours": 24}}|}
+  in
+  let m2 =
+    parse_ok
+      {|{"v": 2, "kind": "markov", "params": {"n": 5, "afr": 0.04, "mttr_hours": 24}}|}
+  in
+  Alcotest.(check bool) "markov upgrades" true (m1.Wire.query = m2.Wire.query)
 
 let test_wire_responses () =
   let line = Wire.encode_ok ~id:7 ~payload:{|{"x": 1}|} in
@@ -256,9 +310,7 @@ let handle_ok query =
       Alcotest.failf "router error: %s (%s)" (Wire.code_string c) msg
 
 let test_router_matches_direct () =
-  let payload =
-    handle_ok (Wire.Analyze { protocol = Wire.Raft; groups = [ (5, 0.02) ] })
-  in
+  let payload = handle_ok (analyze ~protocol:"raft" [ (5, 0.02) ]) in
   let fleet = Faultmodel.Fleet.uniform ~byz_fraction:0.0 ~n:5 ~p:0.02 () in
   let direct =
     Probcons.Analysis.run
@@ -291,6 +343,45 @@ let test_router_stats_rejected () =
   | Error (Wire.Internal, _) -> ()
   | _ -> Alcotest.fail "stats must not be routed"
 
+let test_router_all_models () =
+  (* The service answers analyze for every registry entry, and the
+     payload names the protocol it dispatched to. *)
+  List.iter
+    (fun name ->
+      let payload =
+        handle_ok
+          (Wire.Analyze
+             {
+               scenario =
+                 Probcons.Scenario.uniform ~protocol:name ~n:5 ~p:0.01 ();
+             })
+      in
+      (match json_field "engine" payload with
+      | Some (Obs.Json.String _) -> ()
+      | _ -> Alcotest.failf "%s payload lacks engine" name);
+      match json_field "p_safe_live" payload with
+      | Some j when Obs.Json.to_float j <> None -> ()
+      | _ -> Alcotest.failf "%s payload lacks p_safe_live" name)
+    Probcons.Registry.names
+
+let test_router_byz_override () =
+  (* byz_fraction is a scenario field now, not a hardcoded constant:
+     overriding it must change the answer for a crash-tolerant model. *)
+  let payload byz =
+    handle_ok (analyze ?byz_fraction:byz ~protocol:"raft" [ (5, 0.05) ])
+  in
+  let p_safe payload =
+    match Option.bind (json_field "p_safe" payload) Obs.Json.to_float with
+    | Some v -> v
+    | None -> Alcotest.fail "payload lacks p_safe"
+  in
+  Alcotest.(check (float 0.))
+    "default byz matches explicit 0.0"
+    (p_safe (payload None))
+    (p_safe (payload (Some 0.0)));
+  Alcotest.(check bool) "full-byz override hurts safety" true
+    (p_safe (payload (Some 1.0)) < p_safe (payload None))
+
 let test_router_markov_default_quorum () =
   let payload =
     handle_ok (Wire.Markov { n = 5; quorum = None; afr = 0.04; mttr_hours = 24. })
@@ -317,9 +408,7 @@ let test_e2e_server () =
       Fun.protect
         ~finally:(fun () -> Server.stop server)
         (fun () ->
-          let query k =
-            Wire.Analyze { protocol = Wire.Raft; groups = [ (3 + (2 * k), 0.01) ] }
-          in
+          let query k = analyze ~protocol:"raft" [ (3 + (2 * k), 0.01) ] in
           (* Concurrent clients, each comparing full response lines per
              slot: responses must be byte-identical across clients and
              repeats (computed or cached). *)
@@ -468,8 +557,7 @@ let test_e2e_deadline () =
             ~finally:(fun () -> Client.close c)
             (fun () ->
               match
-                Client.call c ~id:0
-                  (Wire.Analyze { protocol = Wire.Raft; groups = [ (3, 0.01) ] })
+                Client.call c ~id:0 (analyze ~protocol:"raft" [ (3, 0.01) ])
               with
               | Error (Wire.Deadline_exceeded, _) -> ()
               | Ok _ -> Alcotest.fail "expected deadline_exceeded, got ok"
@@ -483,6 +571,7 @@ let suite =
     Alcotest.test_case "wire error codes" `Quick test_wire_error_codes;
     Alcotest.test_case "wire parse errors" `Quick test_wire_parse_errors;
     Alcotest.test_case "wire canonical key" `Quick test_wire_canonical_key;
+    Alcotest.test_case "wire version upgrade" `Quick test_wire_version_upgrade;
     Alcotest.test_case "wire responses" `Quick test_wire_responses;
     Alcotest.test_case "cache eviction order" `Quick test_cache_eviction_order;
     Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
@@ -492,6 +581,8 @@ let suite =
     Alcotest.test_case "router matches direct run" `Quick test_router_matches_direct;
     Alcotest.test_case "router deterministic" `Quick test_router_deterministic;
     Alcotest.test_case "router rejects stats" `Quick test_router_stats_rejected;
+    Alcotest.test_case "router all models" `Quick test_router_all_models;
+    Alcotest.test_case "router byz override" `Quick test_router_byz_override;
     Alcotest.test_case "router markov default quorum" `Quick
       test_router_markov_default_quorum;
     Alcotest.test_case "e2e server" `Quick test_e2e_server;

@@ -22,10 +22,40 @@ let int_field key doc =
 
 (* --- probcons-bench/2 -------------------------------------------------- *)
 
-let check_row i row =
+(* Rows may reference the committed scenario file they were driven by
+   (repo-relative, e.g. "bench/scenarios/p2_sim.json"). Each referenced
+   file must exist — resolved against the cwd, falling back to the
+   artifact's own directory — and parse under [Probcons.Scenario.of_string],
+   so a bench artifact can't ship pointing at a stale or malformed spec.
+   Results are memoized: artifacts reference the same few files many
+   times. *)
+let scenario_cache : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let check_scenario_ref artifact_path i ref_path =
+  if not (Hashtbl.mem scenario_cache ref_path) then begin
+    let candidates =
+      [ ref_path; Filename.concat (Filename.dirname artifact_path) ref_path ]
+    in
+    let resolved =
+      match List.find_opt Sys.file_exists candidates with
+      | Some p -> p
+      | None -> fail "row %d: scenario file %S not found" i ref_path
+    in
+    (match Probcons.Scenario.of_string (read_file resolved) with
+    | Ok _ -> ()
+    | Error msg -> fail "row %d: scenario %S: %s" i ref_path msg);
+    Hashtbl.add scenario_cache ref_path ()
+  end
+
+let check_row artifact_path i row =
   (match str "kernel" row with
   | Some _ -> ()
   | None -> fail "row %d: missing kernel" i);
+  (match Obs.Json.member "scenario" row with
+  | None -> ()
+  | Some (Obs.Json.String ref_path) ->
+      check_scenario_ref artifact_path i ref_path
+  | Some _ -> fail "row %d: scenario must be a string path" i);
   match num "ns_per_run" row with
   | Some v when Float.is_finite v && v > 0. -> ()
   | Some v -> fail "row %d: ns_per_run not finite and positive (%g)" i v
@@ -38,7 +68,7 @@ let validate_bench path doc =
     | Some rows -> rows
     | None -> fail "missing rows list"
   in
-  List.iteri check_row rows;
+  List.iteri (check_row path) rows;
   match Obs.Json.member "metrics" doc with
   | None -> fail "missing metrics snapshot"
   | Some metrics -> (
@@ -46,8 +76,9 @@ let validate_bench path doc =
       | Error msg -> fail "metrics snapshot: %s" msg
       | Ok [] -> fail "metrics snapshot is empty"
       | Ok samples ->
-          Printf.printf "%s: OK (%d rows, %d metric samples)\n" path
-            (List.length rows) (List.length samples))
+          Printf.printf "%s: OK (%d rows, %d metric samples, %d scenario refs)\n"
+            path (List.length rows) (List.length samples)
+            (Hashtbl.length scenario_cache))
 
 (* --- probcons-loadgen/1 ------------------------------------------------ *)
 
