@@ -645,7 +645,25 @@ let serve_cmd =
       & info [ "deadline" ] ~docv:"S"
           ~doc:"Queue deadline in seconds; stale requests get 'deadline_exceeded'.")
   in
-  let run socket port workers queue_depth cache_capacity deadline () =
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt float
+          Service.Server.default_config.Service.Server.idle_timeout_seconds
+      & info [ "idle-timeout" ] ~docv:"S"
+          ~doc:
+            "Close connections silent for $(docv) seconds (0 or negative \
+             disables the timeout).")
+  in
+  let max_connections_arg =
+    Arg.(
+      value
+      & opt int Service.Server.default_config.Service.Server.max_connections
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Live-connection cap; excess accepts are answered 'overloaded'.")
+  in
+  let run socket port workers queue_depth cache_capacity deadline idle_timeout
+      max_connections () =
     if socket = None && port = None then begin
       prerr_endline "probcons serve: set --socket PATH and/or --port PORT";
       exit 2
@@ -666,6 +684,8 @@ let serve_cmd =
         queue_depth;
         cache_capacity;
         deadline_seconds = deadline;
+        idle_timeout_seconds = idle_timeout;
+        max_connections;
       }
   in
   Cmd.v
@@ -676,7 +696,7 @@ let serve_cmd =
     (with_metrics
        Term.(
          const run $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
-         $ deadline_arg))
+         $ deadline_arg $ idle_timeout_arg $ max_connections_arg))
 
 let loadgen_cmd =
   let clients_arg =
@@ -697,9 +717,18 @@ let loadgen_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the probcons-loadgen/1 result artifact to $(docv).")
+          ~doc:"Write the probcons-loadgen/2 result artifact to $(docv).")
   in
-  let run socket port clients requests distinct json () =
+  let call_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:
+            "Per-call deadline in seconds; calls past it count as 'timeout' \
+             errors instead of blocking. Default: no deadline.")
+  in
+  let run socket port clients requests distinct deadline json () =
     let target =
       match (socket, port) with
       | Some path, _ -> Service.Client.Unix_path path
@@ -708,7 +737,10 @@ let loadgen_cmd =
           prerr_endline "probcons loadgen: set --socket PATH or --port PORT";
           exit 2
     in
-    let r = Service.Loadgen.run ~clients ~requests ~distinct ~target () in
+    let r =
+      Service.Loadgen.run ~clients ~requests ~distinct ?timeout:deadline
+        ~target ()
+    in
     Service.Loadgen.print_report r;
     (match json with
     | None -> ()
@@ -729,7 +761,182 @@ let loadgen_cmd =
     (with_metrics
        Term.(
          const run $ socket_arg $ port_arg $ clients_arg $ requests_arg
-         $ distinct_arg $ json_arg))
+         $ distinct_arg $ call_deadline_arg $ json_arg))
+
+(* --- chaos -------------------------------------------------------------- *)
+
+(* The soak invariant, as a predicate over the loadgen error histogram:
+   a fault-injecting proxy may cost a call its deadline or its
+   connection, and the server may shed load — but corruption must
+   never surface as a reply, and nothing may hang. *)
+let chaos_allowed_codes =
+  [ "timeout"; "connection_lost"; "overloaded"; "deadline_exceeded" ]
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Root seed of the fault plan.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Load the fault plan from a JSON file (e.g. the 'plan' object of \
+             a failing run's artifact) instead of the default plan; \
+             overrides --seed.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc:"Concurrent clients.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per client.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "distinct" ] ~docv:"K" ~doc:"Distinct queries in the pool.")
+  in
+  let call_deadline_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "deadline" ] ~docv:"S" ~doc:"Per-call deadline in seconds.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the probcons-chaos/1 soak artifact to $(docv).")
+  in
+  let temp_socket tag =
+    let path = Filename.temp_file ("probcons-" ^ tag) ".sock" in
+    Sys.remove path;
+    path
+  in
+  let read_plan path seed =
+    match path with
+    | None -> Service.Chaos.default_plan ~seed ()
+    | Some file -> (
+        let contents =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match
+          Result.bind (Obs.Json.of_string contents) Service.Chaos.plan_of_json
+        with
+        | Ok plan -> plan
+        | Error msg ->
+            Printf.eprintf "probcons chaos: bad plan file %s: %s\n" file msg;
+            exit 2)
+  in
+  let run seed plan_file clients requests distinct deadline json () =
+    let plan = read_plan plan_file seed in
+    let server_sock = temp_socket "server" and proxy_sock = temp_socket "proxy" in
+    let server =
+      Service.Server.start
+        {
+          Service.Server.default_config with
+          socket_path = Some server_sock;
+          idle_timeout_seconds = 30.;
+        }
+    in
+    let proxy =
+      Service.Chaos.start ~plan
+        ~listen:(Service.Client.Unix_path proxy_sock)
+        ~upstream:(Service.Client.Unix_path server_sock)
+    in
+    Format.printf "chaos soak: seed %d, %d clients x %d requests, %gs deadline@."
+      plan.Service.Chaos.seed clients requests deadline;
+    let r =
+      Service.Loadgen.run ~clients ~requests ~distinct ~timeout:deadline
+        ~expected_from:(Service.Client.Unix_path server_sock)
+        ~target:(Service.Client.Unix_path proxy_sock)
+        ()
+    in
+    Service.Chaos.stop proxy;
+    (* Leak check: once the proxy has torn every connection down, the
+       server's reader count must return to zero. *)
+    let rec drain tries =
+      let n = Service.Server.connection_count server in
+      if n = 0 then (true, 0)
+      else if tries = 0 then (false, n)
+      else begin
+        Unix.sleepf 0.1;
+        drain (tries - 1)
+      end
+    in
+    let drained, connections_after = drain 100 in
+    Service.Server.stop server;
+    Service.Loadgen.print_report r;
+    Format.printf "chaos faults:";
+    List.iter
+      (fun (name, n) -> Format.printf " %s=%d" name n)
+      (Service.Chaos.counts proxy);
+    Format.printf "@.";
+    let artifact =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.String "probcons-chaos/1");
+          ("chaos", Service.Chaos.report proxy);
+          ("loadgen", Service.Loadgen.to_json r);
+          ("drained", Obs.Json.Bool drained);
+          ("connections_after", Obs.Json.Int connections_after);
+        ]
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string artifact);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "chaos artifact written to %s@." path);
+    let forbidden =
+      List.filter
+        (fun (code, _) -> not (List.mem code chaos_allowed_codes))
+        r.Service.Loadgen.errors_by_code
+    in
+    let failures =
+      (if r.Service.Loadgen.mismatches > 0 then
+         [ Printf.sprintf "%d byte-identity mismatches"
+             r.Service.Loadgen.mismatches ]
+       else [])
+      @ List.map
+          (fun (code, n) ->
+            Printf.sprintf "%d '%s' errors surfaced to the client" n code)
+          forbidden
+      @
+      if drained then []
+      else
+        [ Printf.sprintf "server still holds %d connections after the soak"
+            connections_after ]
+    in
+    if failures = [] then
+      Format.printf "chaos soak: PASS (every request ended in a byte-correct \
+                     reply or a typed error)@."
+    else begin
+      List.iter (fun msg -> Printf.eprintf "chaos soak: FAIL: %s\n" msg) failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (cmd_info "chaos"
+       ~doc:
+         "Soak a server through the deterministic fault-injecting proxy and \
+          check the resilience invariant: every request ends in a \
+          byte-correct reply or a typed error within its deadline — never a \
+          hang, a corrupted payload, or a leaked server thread.")
+    (with_metrics
+       Term.(
+         const run $ seed_arg $ plan_arg $ clients_arg $ requests_arg
+         $ distinct_arg $ call_deadline_arg $ json_arg))
 
 let version_cmd =
   let run () =
@@ -748,7 +955,8 @@ let main_cmd =
     [
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
-      bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; version_cmd;
+      bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
+      version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,415 @@
+type plan = {
+  seed : int;
+  delay_p : float;
+  max_delay : float;
+  partial_write_p : float;
+  truncate_p : float;
+  garbage_p : float;
+  reset_p : float;
+  blackhole_p : float;
+}
+
+let default_plan ?(seed = 0) () =
+  {
+    seed;
+    delay_p = 0.10;
+    max_delay = 0.02;
+    partial_write_p = 0.20;
+    truncate_p = 0.02;
+    garbage_p = 0.02;
+    reset_p = 0.02;
+    blackhole_p = 0.03;
+  }
+
+let passthrough_plan ?(seed = 0) () =
+  {
+    seed;
+    delay_p = 0.;
+    max_delay = 0.;
+    partial_write_p = 0.;
+    truncate_p = 0.;
+    garbage_p = 0.;
+    reset_p = 0.;
+    blackhole_p = 0.;
+  }
+
+let plan_to_json p =
+  Obs.Json.Obj
+    [
+      ("seed", Obs.Json.Int p.seed);
+      ("delay_p", Obs.Json.number p.delay_p);
+      ("max_delay", Obs.Json.number p.max_delay);
+      ("partial_write_p", Obs.Json.number p.partial_write_p);
+      ("truncate_p", Obs.Json.number p.truncate_p);
+      ("garbage_p", Obs.Json.number p.garbage_p);
+      ("reset_p", Obs.Json.number p.reset_p);
+      ("blackhole_p", Obs.Json.number p.blackhole_p);
+    ]
+
+let plan_of_json doc =
+  let ( let* ) = Result.bind in
+  let prob name =
+    match Option.bind (Obs.Json.member name doc) Obs.Json.to_float with
+    | Some v when Float.is_finite v && v >= 0. && v <= 1. -> Ok v
+    | Some _ -> Error (name ^ " must be a probability in [0,1]")
+    | None -> Error ("missing numeric " ^ name)
+  in
+  let* seed =
+    match Obs.Json.member "seed" doc with
+    | Some (Obs.Json.Int i) -> Ok i
+    | _ -> Error "missing integer seed"
+  in
+  let* max_delay =
+    match Option.bind (Obs.Json.member "max_delay" doc) Obs.Json.to_float with
+    | Some v when Float.is_finite v && v >= 0. -> Ok v
+    | Some _ -> Error "max_delay must be non-negative"
+    | None -> Error "missing numeric max_delay"
+  in
+  let* delay_p = prob "delay_p" in
+  let* partial_write_p = prob "partial_write_p" in
+  let* truncate_p = prob "truncate_p" in
+  let* garbage_p = prob "garbage_p" in
+  let* reset_p = prob "reset_p" in
+  let* blackhole_p = prob "blackhole_p" in
+  Ok
+    {
+      seed;
+      delay_p;
+      max_delay;
+      partial_write_p;
+      truncate_p;
+      garbage_p;
+      reset_p;
+      blackhole_p;
+    }
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let m_connections = Obs.Metrics.counter ~family:"chaos" "connections_total"
+let m_blackholed = Obs.Metrics.counter ~family:"chaos" "blackholed"
+let m_resets = Obs.Metrics.counter ~family:"chaos" "resets"
+let m_truncations = Obs.Metrics.counter ~family:"chaos" "truncations"
+let m_garbage = Obs.Metrics.counter ~family:"chaos" "garbage_injections"
+let m_delays = Obs.Metrics.counter ~family:"chaos" "delays"
+let m_partials = Obs.Metrics.counter ~family:"chaos" "partial_writes"
+let m_chunks = Obs.Metrics.counter ~family:"chaos" "chunks_forwarded"
+
+(* --- Proxy ------------------------------------------------------------- *)
+
+(* Both pump threads of a connection share this record; the last one
+   out closes both descriptors (exactly once — pumps only ever
+   [shutdown], so a descriptor number can never be closed twice and
+   reused under a live thread). *)
+type conn = {
+  cfd : Unix.file_descr;
+  ufd : Unix.file_descr option;
+  m : Mutex.t;
+  mutable live_pumps : int;
+}
+
+type t = {
+  plan : plan;
+  listener : Unix.file_descr;
+  listen_path : string option;
+  upstream : Client.target;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  conns : (int, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  mutable threads : Thread.t list;
+  mutable next_conn : int;
+  stopped : bool Atomic.t;
+  (* Local tallies: available for the JSON report even when the global
+     metrics registry is disabled. *)
+  n_connections : int Atomic.t;
+  n_blackholed : int Atomic.t;
+  n_resets : int Atomic.t;
+  n_truncations : int Atomic.t;
+  n_garbage : int Atomic.t;
+  n_delays : int Atomic.t;
+  n_partials : int Atomic.t;
+  n_chunks : int Atomic.t;
+}
+
+let count metric local =
+  Obs.Metrics.incr metric;
+  Atomic.incr local
+
+let listen_target = function
+  | Client.Unix_path path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.bind fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Client.Tcp port ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with e ->
+         Unix.close fd;
+         raise e);
+      Unix.listen fd 64;
+      (fd, None)
+
+let connect_upstream = function
+  | Client.Unix_path path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  | Client.Tcp port ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+
+let shutdown_conn conn =
+  (try Unix.shutdown conn.cfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  match conn.ufd with
+  | Some fd -> (
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let finish t key conn =
+  Mutex.lock conn.m;
+  conn.live_pumps <- conn.live_pumps - 1;
+  let last = conn.live_pumps = 0 in
+  Mutex.unlock conn.m;
+  if last then begin
+    (try Unix.close conn.cfd with Unix.Unix_error _ -> ());
+    (match conn.ufd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    Mutex.lock t.conns_mutex;
+    Hashtbl.remove t.conns key;
+    Mutex.unlock t.conns_mutex
+  end
+
+let write_all fd bytes len =
+  let rec go off =
+    if off < len then go (off + Unix.write fd bytes off (len - off))
+  in
+  go 0
+
+(* Forward [src] to [dst], rolling the plan's per-chunk dice from this
+   direction's private RNG stream. Any write failure means the other
+   side is gone; the pump just exits and teardown closes both fds. *)
+let pump t rng ~src ~dst conn =
+  let plan = t.plan in
+  let chunk = Bytes.create 4096 in
+  let forward k =
+    if Prob.Rng.bool rng plan.delay_p then begin
+      count m_delays t.n_delays;
+      Unix.sleepf (Prob.Rng.float rng *. plan.max_delay)
+    end;
+    if Prob.Rng.bool rng plan.garbage_p then begin
+      count m_garbage t.n_garbage;
+      let len = 1 + Prob.Rng.int rng 32 in
+      let garbage =
+        Bytes.init len (fun _ -> Char.chr (Prob.Rng.int rng 256))
+      in
+      write_all dst garbage len
+    end;
+    let k =
+      if Prob.Rng.bool rng plan.truncate_p then begin
+        count m_truncations t.n_truncations;
+        Prob.Rng.int rng k
+      end
+      else k
+    in
+    if k > 0 then
+      if Prob.Rng.bool rng plan.partial_write_p then begin
+        count m_partials t.n_partials;
+        let off = ref 0 in
+        while !off < k do
+          let m = 1 + Prob.Rng.int rng (min 8 (k - !off)) in
+          write_all dst (Bytes.sub chunk !off m) m;
+          off := !off + m;
+          if !off < k then Unix.sleepf 0.0005
+        done
+      end
+      else write_all dst chunk k;
+    count m_chunks t.n_chunks
+  in
+  let rec go () =
+    match Unix.read src chunk 0 (Bytes.length chunk) with
+    | 0 ->
+        (* Clean EOF: half-close the forward direction so the peer
+           sees it, and let the opposite pump drain. *)
+        (try Unix.shutdown dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+    | exception _ -> ()
+    | k ->
+        if Prob.Rng.bool rng plan.reset_p then begin
+          count m_resets t.n_resets;
+          shutdown_conn conn
+        end
+        else begin
+          match forward k with
+          | () -> go ()
+          | exception _ -> ()
+        end
+  in
+  go ()
+
+(* A black-holed connection: accept, read, never answer. From the
+   client's side this is the pathological server that motivates
+   per-call deadlines. *)
+let drain src =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read src chunk 0 (Bytes.length chunk) with
+    | 0 | (exception _) -> ()
+    | _ -> go ()
+  in
+  go ()
+
+let spawn t f =
+  let th = Thread.create f () in
+  t.threads <- th :: t.threads
+
+let register_conn t conn =
+  let key = t.next_conn in
+  t.next_conn <- key + 1;
+  Hashtbl.replace t.conns key conn;
+  key
+
+(* Called with [t.conns_mutex] held (the accept loop is the only
+   caller), so conn registration and thread bookkeeping are atomic with
+   respect to [stop]. *)
+let handle_connection t cfd =
+  count m_connections t.n_connections;
+  let conn_index = t.next_conn in
+  let conn_rng = Prob.Rng.of_pair t.plan.seed (3 * conn_index) in
+  if Prob.Rng.bool conn_rng t.plan.blackhole_p then begin
+    count m_blackholed t.n_blackholed;
+    let conn = { cfd; ufd = None; m = Mutex.create (); live_pumps = 1 } in
+    let key = register_conn t conn in
+    spawn t (fun () ->
+        drain cfd;
+        finish t key conn)
+  end
+  else
+    match connect_upstream t.upstream with
+    | exception _ ->
+        (* Upstream gone: the client sees an immediate EOF, which it
+           already treats as a lost connection. *)
+        (try Unix.close cfd with Unix.Unix_error _ -> ())
+    | ufd ->
+        let conn =
+          { cfd; ufd = Some ufd; m = Mutex.create (); live_pumps = 2 }
+        in
+        let key = register_conn t conn in
+        let rng_up = Prob.Rng.of_pair t.plan.seed ((3 * conn_index) + 1) in
+        let rng_down = Prob.Rng.of_pair t.plan.seed ((3 * conn_index) + 2) in
+        spawn t (fun () ->
+            pump t rng_up ~src:cfd ~dst:ufd conn;
+            finish t key conn);
+        spawn t (fun () ->
+            pump t rng_down ~src:ufd ~dst:cfd conn;
+            finish t key conn)
+
+let accept_loop t () =
+  let rec go () =
+    match Unix.select [ t.stop_r; t.listener ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.listener with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              Mutex.lock t.conns_mutex;
+              (try handle_connection t fd
+               with e ->
+                 Mutex.unlock t.conns_mutex;
+                 raise e);
+              Mutex.unlock t.conns_mutex);
+          go ()
+        end
+  in
+  go ()
+
+let start ~plan ~listen ~upstream =
+  let listener, listen_path = listen_target listen in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      plan;
+      listener;
+      listen_path;
+      upstream;
+      stop_r;
+      stop_w;
+      accept_thread = None;
+      conns = Hashtbl.create 64;
+      conns_mutex = Mutex.create ();
+      threads = [];
+      next_conn = 0;
+      stopped = Atomic.make false;
+      n_connections = Atomic.make 0;
+      n_blackholed = Atomic.make 0;
+      n_resets = Atomic.make 0;
+      n_truncations = Atomic.make 0;
+      n_garbage = Atomic.make 0;
+      n_delays = Atomic.make 0;
+      n_partials = Atomic.make 0;
+      n_chunks = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (try ignore (Unix.write_substring t.stop_w "x" 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    (match t.listen_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* Wake every pump blocked in [read], then join. Pumps close their
+       own fds on the way out, so after the joins nothing is leaked. *)
+    Mutex.lock t.conns_mutex;
+    Hashtbl.iter (fun _ conn -> shutdown_conn conn) t.conns;
+    let threads = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.conns_mutex;
+    List.iter Thread.join threads;
+    (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+    try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  end
+
+let counts t =
+  [
+    ("blackholed", Atomic.get t.n_blackholed);
+    ("chunks_forwarded", Atomic.get t.n_chunks);
+    ("connections", Atomic.get t.n_connections);
+    ("delays", Atomic.get t.n_delays);
+    ("garbage_injections", Atomic.get t.n_garbage);
+    ("partial_writes", Atomic.get t.n_partials);
+    ("resets", Atomic.get t.n_resets);
+    ("truncations", Atomic.get t.n_truncations);
+  ]
+
+let report t =
+  Obs.Json.Obj
+    [
+      ("plan", plan_to_json t.plan);
+      ( "counts",
+        Obs.Json.Obj
+          (List.map (fun (name, n) -> (name, Obs.Json.Int n)) (counts t)) );
+    ]

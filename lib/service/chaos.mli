@@ -1,0 +1,73 @@
+(** Deterministic fault-injecting TCP/Unix-socket proxy.
+
+    Sits between a client and the query server and injects the faults
+    real networks produce but an [f]-threshold model ignores: added
+    latency, fragmented (partial) writes, byte truncation, garbage
+    bytes spliced into the stream, abrupt connection resets, and
+    black-holes that accept a connection and never forward a byte.
+
+    Every decision is drawn from {!Prob.Rng} streams derived from
+    [(plan.seed, connection index, direction)], so a soak run's fault
+    schedule is reproducible from its plan alone: re-running with the
+    same seed and the same connection arrival order replays the same
+    per-connection faults. The plan round-trips through JSON
+    ({!plan_to_json} / {!plan_of_json}) so a failing run's artifact
+    carries everything needed to reproduce it, and {!report} adds the
+    per-fault counts (also mirrored in the ["chaos"] metrics family).
+
+    The proxy never parses the wire protocol — it corrupts {e bytes},
+    which is exactly why it is a fair adversary for testing that the
+    {!Client}/{!Server} pair upholds: every request ends in a
+    byte-correct reply or a typed error within its deadline, never a
+    hang or a silently corrupted payload. *)
+
+type plan = {
+  seed : int;  (** Root of every per-connection RNG stream. *)
+  delay_p : float;  (** Per-chunk: sleep before forwarding. *)
+  max_delay : float;  (** Upper bound of the injected sleep, seconds. *)
+  partial_write_p : float;
+      (** Per-chunk: forward in 1–8 byte fragments with tiny pauses. *)
+  truncate_p : float;
+      (** Per-chunk: forward only a strict prefix and drop the rest —
+          the receiver sees a line that never completes. *)
+  garbage_p : float;
+      (** Per-chunk: splice 1–32 random bytes into the stream before
+          the payload. *)
+  reset_p : float;  (** Per-chunk: tear the connection down instead. *)
+  blackhole_p : float;
+      (** Per-connection: accept, read, and never forward anything. *)
+}
+
+val default_plan : ?seed:int -> unit -> plan
+(** Modest probabilities of every fault kind (a few percent each),
+    [max_delay] of 20 ms; [seed] defaults to 0. *)
+
+val passthrough_plan : ?seed:int -> unit -> plan
+(** All probabilities zero — the proxy forwards bytes untouched
+    (transparency is itself worth a test). *)
+
+val plan_to_json : plan -> Obs.Json.t
+val plan_of_json : Obs.Json.t -> (plan, string) result
+(** Total: missing or non-numeric fields are an [Error]. Probabilities
+    must lie in [0,1] and [max_delay] must be non-negative. *)
+
+type t
+
+val start : plan:plan -> listen:Client.target -> upstream:Client.target -> t
+(** Bind [listen], forward every accepted connection to [upstream],
+    and return immediately. Each direction of each connection runs on
+    its own pump thread. Raises [Unix.Unix_error] if binding fails. *)
+
+val stop : t -> unit
+(** Close the listener and every live connection, then join all pump
+    threads. Idempotent. *)
+
+val counts : t -> (string * int) list
+(** Per-fault injection counts since {!start}, sorted by name:
+    [connections], [blackholed], [resets], [truncations],
+    [garbage_injections], [delays], [partial_writes],
+    [chunks_forwarded]. *)
+
+val report : t -> Obs.Json.t
+(** [{"plan": ..., "counts": {...}}] — the reproducibility artifact a
+    failing soak run uploads. *)

@@ -1,65 +1,258 @@
 type target = Unix_path of string | Tcp of int
 
-type t = { fd : Unix.file_descr; mutable pending : string; chunk : Bytes.t }
+type backoff = {
+  seed : int;
+  initial : float;
+  multiplier : float;
+  max_sleep : float;
+  jitter : float;
+}
+
+let default_backoff =
+  { seed = 0; initial = 0.005; multiplier = 2.0; max_sleep = 0.5; jitter = 0.5 }
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let m_reconnects = Obs.Metrics.counter ~family:"client" "reconnects_total"
+let m_timeouts = Obs.Metrics.counter ~family:"client" "call_timeouts"
+let m_retries = Obs.Metrics.counter ~family:"client" "call_retries"
+
+type t = {
+  target : target;
+  backoff : backoff;
+  rng : Prob.Rng.t;
+  timeout : float option;  (* default per-call budget *)
+  mutable fd : Unix.file_descr option;
+  lines : Linebuf.t;
+  chunk : Bytes.t;
+}
+
+(* Raised internally; both map to typed [Wire.error_code]s at the
+   [call] boundary, never escape to callers. *)
+exception Timed_out
+exception Lost of string
 
 let sockaddr = function
   | Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
   | Tcp port -> (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
 
-let connect ?(retry_for = 0.) target =
-  let domain, addr = sockaddr target in
-  let deadline = Unix.gettimeofday () +. retry_for in
-  let rec attempt () =
+(* --- Connecting with jittered exponential backoff ---------------------- *)
+
+(* Sleep grows [initial, initial*multiplier, ...] capped at [max_sleep],
+   each draw shortened by up to [jitter * sleep] from the client's own
+   seeded stream — deterministic per client, decorrelated across a
+   fleet of clients hammering a recovering server. *)
+let backoff_sleep t attempt =
+  let b = t.backoff in
+  let base = b.initial *. (b.multiplier ** float_of_int attempt) in
+  let capped = Float.min b.max_sleep base in
+  capped *. (1. -. (b.jitter *. Prob.Rng.float t.rng))
+
+let connect_once t ~deadline =
+  let domain, addr = sockaddr t.target in
+  let rec attempt k =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
     | () -> fd
     | exception
-        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _)
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR
+            | Unix.ECONNRESET ),
+            _,
+            _ )
       when Unix.gettimeofday () < deadline ->
         Unix.close fd;
-        Unix.sleepf 0.02;
-        attempt ()
+        let sleep =
+          Float.min (backoff_sleep t k) (deadline -. Unix.gettimeofday ())
+        in
+        if sleep > 0. then Unix.sleepf sleep;
+        attempt (k + 1)
     | exception e ->
         Unix.close fd;
         raise e
   in
-  { fd = attempt (); pending = ""; chunk = Bytes.create 8192 }
+  attempt 0
 
-let send_line t line =
+let disconnect t =
+  (match t.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  t.fd <- None;
+  Linebuf.reset t.lines
+
+let reconnect t ~deadline =
+  disconnect t;
+  Obs.Metrics.incr m_reconnects;
+  t.fd <- Some (connect_once t ~deadline)
+
+let connect ?(retry_for = 0.) ?(backoff = default_backoff) ?timeout target =
+  (* Writes to a dead peer must surface as EPIPE, not kill the
+     process: same audit as the server side. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let t =
+    {
+      target;
+      backoff;
+      rng = Prob.Rng.create backoff.seed;
+      timeout;
+      fd = None;
+      lines = Linebuf.create ();
+      chunk = Bytes.create 8192;
+    }
+  in
+  t.fd <- Some (connect_once t ~deadline:(Unix.gettimeofday () +. retry_for));
+  t
+
+let fd_exn t =
+  match t.fd with Some fd -> fd | None -> raise (Lost "not connected")
+
+(* --- Deadline-bounded socket IO ---------------------------------------- *)
+
+(* All reads and writes go through [select] first when a deadline is
+   set, so no call ever parks in an unbounded [Unix.read]: a stalled or
+   black-holed peer becomes [Timed_out] the moment the budget runs
+   out. *)
+let wait_io fd ~readable ~deadline =
+  match deadline with
+  | None -> ()
+  | Some d ->
+      let rec go () =
+        let remaining = d -. Unix.gettimeofday () in
+        if remaining <= 0. then raise Timed_out
+        else
+          let rs = if readable then [ fd ] else [] in
+          let ws = if readable then [] else [ fd ] in
+          match Unix.select rs ws [] remaining with
+          | [], [], _ -> raise Timed_out
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      in
+      go ()
+
+let send_line_deadline t ~deadline line =
+  let fd = fd_exn t in
   let s = line ^ "\n" in
   let len = String.length s in
   let rec go off =
-    if off < len then go (off + Unix.write_substring t.fd s off (len - off))
+    if off < len then begin
+      wait_io fd ~readable:false ~deadline;
+      match Unix.write_substring fd s off (len - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise (Lost "connection reset during send")
+    end
   in
   go 0
 
-let rec recv_line t =
-  match String.index_opt t.pending '\n' with
-  | Some i ->
-      let line = String.sub t.pending 0 i in
-      t.pending <-
-        String.sub t.pending (i + 1) (String.length t.pending - i - 1);
-      Some line
-  | None -> (
-      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
-      | 0 | (exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _))
-        ->
-          None
-      | k ->
-          t.pending <- t.pending ^ Bytes.sub_string t.chunk 0 k;
-          recv_line t)
+let recv_line_deadline t ~deadline =
+  let fd = fd_exn t in
+  let rec go () =
+    match Linebuf.next t.lines with
+    | Some line -> line
+    | None ->
+        if Linebuf.partial_length t.lines > Wire.max_line_bytes then
+          raise (Lost "reply line exceeds the wire limit")
+        else begin
+          wait_io fd ~readable:true ~deadline;
+          match Unix.read fd t.chunk 0 (Bytes.length t.chunk) with
+          | 0 -> raise (Lost "connection closed by server")
+          | k ->
+              Linebuf.feed t.lines t.chunk k;
+              go ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+              raise (Lost "connection reset by server")
+        end
+  in
+  go ()
+
+(* --- Raw blocking framing (tests, pipelining, loadgen baselines) ------- *)
+
+let send_line t line = send_line_deadline t ~deadline:None line
+
+let recv_line t =
+  match recv_line_deadline t ~deadline:None with
+  | line -> Some line
+  | exception Lost _ -> None
 
 let call_raw t line =
   send_line t line;
   recv_line t
 
-let call t ~id query =
-  match call_raw t (Wire.encode_request { Wire.id; query }) with
-  | exception e -> Error (Wire.Internal, Printexc.to_string e)
-  | None -> Error (Wire.Internal, "connection closed by server")
-  | Some line -> (
-      match Wire.parse_response line with
-      | Error msg -> Error (Wire.Internal, "malformed response: " ^ msg)
-      | Ok { Wire.body; _ } -> body)
+(* --- Resilient calls --------------------------------------------------- *)
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+(* One attempt: send, then read lines until one parses as a response
+   carrying our id. Anything else on the stream — garbage bytes, a
+   broken envelope, a foreign id — means the connection's framing can
+   no longer be trusted, so the attempt dies as [Lost] and the retry
+   path rebuilds it from a fresh socket. *)
+let attempt_call t ~deadline ~id line =
+  send_line_deadline t ~deadline line;
+  let reply = recv_line_deadline t ~deadline in
+  match Wire.parse_response reply with
+  | Error msg -> raise (Lost ("corrupted response: " ^ msg))
+  | Ok { Wire.rid; _ } ->
+      if rid <> Some id then
+        raise
+          (Lost
+             (Printf.sprintf "response id %s does not match request id %d"
+                (match rid with Some i -> string_of_int i | None -> "<none>")
+                id))
+      else reply
+
+let call_line ?timeout ?(max_attempts = 3) t ~id line =
+  let timeout = match timeout with Some _ as s -> s | None -> t.timeout in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let time_left () =
+    match deadline with None -> true | Some d -> Unix.gettimeofday () < d
+  in
+  let reconnect_deadline () =
+    (* With no per-call deadline a reconnect still gets a bounded
+       window, so a vanished server is a typed error, not a hang. *)
+    Option.value deadline ~default:(Unix.gettimeofday () +. 1.)
+  in
+  let rec attempt k =
+    match
+      if t.fd = None then reconnect t ~deadline:(reconnect_deadline ());
+      attempt_call t ~deadline ~id line
+    with
+    | reply -> Ok reply
+    | exception Timed_out ->
+        (* The reply may still arrive later; keeping the socket would
+           let a stale line answer the next call. Poisoned — drop it. *)
+        Obs.Metrics.incr m_timeouts;
+        disconnect t;
+        Error (Wire.Timeout, "no reply within the per-call deadline")
+    | exception Lost msg when k + 1 < max_attempts && time_left () -> (
+        Obs.Metrics.incr m_retries;
+        disconnect t;
+        (* All wire queries are pure and re-answered byte-identically
+           (reply cache), so retrying after a drop is safe even if the
+           server already processed the first copy. *)
+        match reconnect t ~deadline:(reconnect_deadline ()) with
+        | () -> attempt (k + 1)
+        | exception _ -> Error (Wire.Connection_lost, msg))
+    | exception Lost msg ->
+        disconnect t;
+        Error (Wire.Connection_lost, msg)
+    | exception Unix.Unix_error (e, _, _) ->
+        disconnect t;
+        Error (Wire.Connection_lost, Unix.error_message e)
+  in
+  attempt 0
+
+let call ?timeout ?max_attempts t ~id query =
+  match
+    call_line ?timeout ?max_attempts t ~id
+      (Wire.encode_request { Wire.id; query })
+  with
+  | Error e -> Error e
+  | Ok reply -> (
+      (* [call_line] validated the envelope, so this parse cannot
+         fail; re-parsing just extracts the body. *)
+      match Wire.parse_response reply with
+      | Ok { Wire.body; _ } -> body
+      | Error msg -> Error (Wire.Internal, "malformed response: " ^ msg))
+
+let close t = disconnect t

@@ -1,32 +1,94 @@
-(** Blocking client for the reliability-query wire protocol.
+(** Resilient client for the reliability-query wire protocol.
 
-    One socket, newline-delimited requests and responses. {!call} is
-    the simple request/response form; {!send_line}/{!recv_line} expose
-    the raw framing so tests and the load generator can pipeline
-    requests or send deliberately malformed lines. Not thread-safe —
-    use one client per thread. *)
+    One socket, newline-delimited requests and responses — but
+    engineered for the fault model the chaos proxy injects, not for
+    healthy sockets only:
+
+    - {b Per-call deadlines.} {!call} and {!call_line} bound every
+      socket operation with [select]; a stalled, black-holed or
+      half-dead server yields a typed [Wire.Timeout] error instead of
+      parking the caller in an unbounded [Unix.read].
+    - {b Jittered exponential backoff.} Connection attempts (initial
+      and reconnects) sleep [initial * multiplier^k] capped at
+      [max_sleep], each draw jittered from the client's own seeded
+      {!Prob.Rng} stream — deterministic per client, decorrelated
+      across a fleet retrying against a recovering server.
+    - {b Safe automatic retry.} Every wire query is pure and the
+      server's reply cache re-answers byte-identically, so when a
+      connection drops (reset, EOF, corrupted framing, foreign reply
+      id) mid-call, the client reconnects and re-sends — at-least-once
+      delivery with exactly-once-equivalent results. A timed-out call
+      is {e not} retried: its budget is spent, and the poisoned
+      connection is dropped so a late reply can never answer a later
+      call.
+
+    {!send_line}/{!recv_line} expose the raw blocking framing so tests
+    and the load generator can pipeline requests or send deliberately
+    malformed lines. Not thread-safe — use one client per thread. *)
 
 type target = Unix_path of string | Tcp of int
 (** [Tcp port] connects to 127.0.0.1. *)
 
+type backoff = {
+  seed : int;  (** Jitter stream; equal seeds give equal schedules. *)
+  initial : float;  (** First sleep, seconds. *)
+  multiplier : float;  (** Growth per attempt. *)
+  max_sleep : float;  (** Cap on a single sleep. *)
+  jitter : float;
+      (** Fraction of each sleep randomized away, in [0,1]: a draw
+          sleeps [s * (1 - jitter * u)] for uniform [u]. *)
+}
+
+val default_backoff : backoff
+(** 5 ms doubling to a 500 ms cap, 50% jitter, seed 0. *)
+
 type t
 
-val connect : ?retry_for:float -> target -> t
+val connect :
+  ?retry_for:float -> ?backoff:backoff -> ?timeout:float -> target -> t
 (** [retry_for] (seconds, default 0): keep retrying refused/absent
-    endpoints for that long before re-raising — lets tests connect to a
-    server that is still binding its socket. *)
+    endpoints for that long before re-raising — lets tests connect to
+    a server that is still binding its socket. Retries sleep according
+    to [backoff] (default {!default_backoff}). [timeout] sets the
+    default per-call budget for {!call}/{!call_line}; omitted, calls
+    block until the server answers or the connection dies. Ignores
+    SIGPIPE process-wide (same audit as the server side). *)
 
 val send_line : t -> string -> unit
-(** Write [line ^ "\n"]. *)
+(** Write [line ^ "\n"]. Blocking; raises on a dead connection. *)
 
 val recv_line : t -> string option
-(** Next newline-terminated line, or [None] on EOF. *)
+(** Next newline-terminated line, or [None] on EOF/reset. Blocking. *)
 
 val call_raw : t -> string -> string option
-(** [send_line] then [recv_line]. *)
+(** [send_line] then [recv_line]. Blocking, no retries — the raw
+    framing for tests that pipeline or corrupt on purpose. *)
 
-val call : t -> id:int -> Wire.query -> (Obs.Json.t, Wire.error_code * string) result
-(** Encode, send, receive, decode. Transport failures (EOF, malformed
-    response) surface as [Error (Internal, _)]. *)
+val call_line :
+  ?timeout:float ->
+  ?max_attempts:int ->
+  t ->
+  id:int ->
+  string ->
+  (string, Wire.error_code * string) result
+(** [call_line t ~id line] sends [line] and returns the full validated
+    response line for request [id] — the byte-identity unit the load
+    generator checks. [timeout] (default: the client's) bounds the
+    whole call including reconnects and retries ([max_attempts],
+    default 3). Errors are always typed: [Timeout] when the budget
+    expires, [Connection_lost] when the link died and the retry budget
+    ran out. Only send requests whose [id] matches: replies are
+    validated against it and anything else poisons the connection. *)
+
+val call :
+  ?timeout:float ->
+  ?max_attempts:int ->
+  t ->
+  id:int ->
+  Wire.query ->
+  (Obs.Json.t, Wire.error_code * string) result
+(** Encode, {!call_line}, decode. Transport failures surface as
+    [Error (Timeout, _)] / [Error (Connection_lost, _)]; server-sent
+    errors keep their own codes. *)
 
 val close : t -> unit

@@ -1,0 +1,22 @@
+type t = { lines : string Queue.t; partial : Buffer.t }
+
+let create () = { lines = Queue.create (); partial = Buffer.create 256 }
+
+let feed t chunk len =
+  let start = ref 0 in
+  for i = 0 to len - 1 do
+    if Bytes.get chunk i = '\n' then begin
+      Buffer.add_subbytes t.partial chunk !start (i - !start);
+      Queue.push (Buffer.contents t.partial) t.lines;
+      Buffer.clear t.partial;
+      start := i + 1
+    end
+  done;
+  Buffer.add_subbytes t.partial chunk !start (len - !start)
+
+let next t = Queue.take_opt t.lines
+let partial_length t = Buffer.length t.partial
+
+let reset t =
+  Queue.clear t.lines;
+  Buffer.clear t.partial

@@ -1,0 +1,31 @@
+(** Incremental newline framing over a byte stream.
+
+    Both ends of the wire assemble newline-delimited lines from
+    arbitrarily fragmented reads. Doing that with string concatenation
+    ([pending ^ chunk]) is O(n²) across fragments — under a chaos proxy
+    that splits writes into single bytes, a 1 KiB line costs a thousand
+    reallocations of the whole prefix. This module is the shared
+    replacement: completed lines are cut {e while scanning the incoming
+    chunk}, so total work is linear in bytes received.
+
+    Not thread-safe; each connection owns one buffer. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Bytes.t -> int -> unit
+(** [feed t chunk len] consumes [chunk.[0 .. len-1]]. Completed lines
+    (without their ['\n']) queue up for {!next}; a trailing fragment
+    waits for the next feed. Amortized O(len). *)
+
+val next : t -> string option
+(** Oldest completed line not yet returned, in arrival order. *)
+
+val partial_length : t -> int
+(** Bytes buffered past the last newline — the length of the line
+    still being assembled. Callers enforce [Wire.max_line_bytes]
+    against this to bound memory per connection. *)
+
+val reset : t -> unit
+(** Drop all buffered lines and the partial fragment. *)

@@ -3,6 +3,7 @@ type result = {
   requests_total : int;
   ok : int;
   errors : int;
+  errors_by_code : (string * int) list;
   mismatches : int;
   elapsed_seconds : float;
   throughput_rps : float;
@@ -28,11 +29,16 @@ let json_field name = function
   | Obs.Json.Obj fields -> List.assoc_opt name fields
   | _ -> None
 
-let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ~target () =
+let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ?timeout
+    ?expected_from ~target () =
   let clients = max 1 clients
   and requests = max 1 requests
   and distinct = max 1 distinct in
   let pool = query_pool distinct in
+  let lines =
+    Array.init distinct (fun slot ->
+        Wire.encode_request { Wire.id = slot; query = pool.(slot) })
+  in
   let registry = Obs.Metrics.create ~enabled:true () in
   let m_latency =
     Obs.Metrics.histogram ~registry ~family:"loadgen" "latency_seconds"
@@ -40,10 +46,30 @@ let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ~target () =
   let ok = Atomic.make 0
   and errors = Atomic.make 0
   and mismatches = Atomic.make 0 in
-  (* First full response line seen for each pool slot; every later
-     reply for that slot must match it byte for byte. *)
+  (* The reference response line for each pool slot; every reply for
+     that slot must match it byte for byte. Seeded from a clean direct
+     connection when [expected_from] is given (so a proxy between
+     loadgen and server cannot corrupt the baseline itself), otherwise
+     from the first full reply seen. *)
   let expected = Array.make distinct None in
   let expected_mutex = Mutex.create () in
+  (match expected_from with
+  | None -> ()
+  | Some direct ->
+      let c = Client.connect ~retry_for:5. direct in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Array.iteri
+            (fun slot line ->
+              match Client.call_line c ~id:slot line with
+              | Ok reply -> expected.(slot) <- Some reply
+              | Error (code, msg) ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Loadgen.run: baseline fetch for slot %d failed: %s: %s"
+                       slot (Wire.code_string code) msg))
+            lines));
   let check_identical slot line =
     Mutex.lock expected_mutex;
     (match expected.(slot) with
@@ -51,33 +77,45 @@ let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ~target () =
     | Some first -> if not (String.equal first line) then Atomic.incr mismatches);
     Mutex.unlock expected_mutex
   in
+  let by_code : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let by_code_mutex = Mutex.create () in
+  let record_error code =
+    Atomic.incr errors;
+    let name = Wire.code_string code in
+    Mutex.lock by_code_mutex;
+    Hashtbl.replace by_code name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt by_code name));
+    Mutex.unlock by_code_mutex
+  in
   let client_loop k =
-    let c = Client.connect ~retry_for:5. target in
+    let backoff = { Client.default_backoff with seed = k } in
+    let c = Client.connect ~retry_for:5. ~backoff ?timeout target in
     Fun.protect
       ~finally:(fun () -> Client.close c)
       (fun () ->
         for r = 0 to requests - 1 do
           let slot = (k + r) mod distinct in
-          let line = Wire.encode_request { Wire.id = slot; query = pool.(slot) } in
           let t0 = Unix.gettimeofday () in
-          match Client.call_raw c line with
-          | None -> Atomic.incr errors
-          | Some reply -> (
+          match Client.call_line c ~id:slot lines.(slot) with
+          | Error (code, _) -> record_error code
+          | Ok reply -> (
               Obs.Metrics.observe m_latency (Unix.gettimeofday () -. t0);
               match Wire.parse_response reply with
               | Ok { Wire.body = Ok _; _ } ->
                   Atomic.incr ok;
                   check_identical slot reply
-              | Ok { Wire.body = Error _; _ } | Error _ -> Atomic.incr errors)
+              | Ok { Wire.body = Error (code, _); _ } -> record_error code
+              | Error _ -> record_error Wire.Parse_error)
         done)
   in
   let t0 = Unix.gettimeofday () in
   let threads = List.init clients (fun k -> Thread.create client_loop k) in
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
+  let stats_target = Option.value expected_from ~default:target in
   let server_stats =
     match
-      let c = Client.connect ~retry_for:1. target in
+      let c = Client.connect ~retry_for:1. stats_target in
       Fun.protect
         ~finally:(fun () -> Client.close c)
         (fun () -> Client.call c ~id:0 Wire.Stats)
@@ -103,12 +141,17 @@ let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ~target () =
         { Obs.Metrics.count = 0; sum = 0.; min = 0.; max = 0.; p50 = 0.;
           p90 = 0.; p99 = 0. }
   in
+  let errors_by_code =
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) by_code []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let requests_total = clients * requests in
   {
     clients;
     requests_total;
     ok = Atomic.get ok;
     errors = Atomic.get errors;
+    errors_by_code;
     mismatches = Atomic.get mismatches;
     elapsed_seconds = elapsed;
     throughput_rps =
@@ -125,6 +168,11 @@ let print_report r =
     r.elapsed_seconds r.throughput_rps;
   Printf.printf "  ok %d, errors %d, byte-identity mismatches %d\n" r.ok
     r.errors r.mismatches;
+  if r.errors_by_code <> [] then begin
+    Printf.printf "  errors by code:";
+    List.iter (fun (name, n) -> Printf.printf " %s=%d" name n) r.errors_by_code;
+    print_newline ()
+  end;
   Printf.printf "  latency: p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n"
     (1e3 *. r.latency.Obs.Metrics.p50)
     (1e3 *. r.latency.Obs.Metrics.p90)
@@ -137,12 +185,16 @@ let print_report r =
 let to_json r =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.String "probcons-loadgen/1");
+      ("schema", Obs.Json.String "probcons-loadgen/2");
       ("wire", Obs.Json.String Wire.protocol_name);
       ("clients", Obs.Json.Int r.clients);
       ("requests_total", Obs.Json.Int r.requests_total);
       ("ok", Obs.Json.Int r.ok);
       ("errors", Obs.Json.Int r.errors);
+      ( "errors_by_code",
+        Obs.Json.Obj
+          (List.map (fun (name, n) -> (name, Obs.Json.Int n)) r.errors_by_code)
+      );
       ("mismatches", Obs.Json.Int r.mismatches);
       ("elapsed_seconds", Obs.Json.number r.elapsed_seconds);
       ("throughput_rps", Obs.Json.number r.throughput_rps);

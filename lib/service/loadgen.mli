@@ -1,11 +1,21 @@
 (** Closed-loop load generator for the query server.
 
-    Spawns [clients] threads, each with its own connection, issuing
-    [requests] queries drawn round-robin from a pool of [distinct]
-    cheap analysis queries. Because every request's id is its pool
-    index, the full response line for a given pool slot must be
-    byte-identical across clients and repetitions — the generator
-    verifies this on every reply and counts violations.
+    Spawns [clients] threads, each with its own resilient {!Client}
+    connection, issuing [requests] queries drawn round-robin from a
+    pool of [distinct] cheap analysis queries. Because every request's
+    id is its pool index, the full response line for a given pool slot
+    must be byte-identical across clients and repetitions — the
+    generator verifies this on every reply and counts violations.
+
+    Built to run through the {!Chaos} proxy as well as directly:
+    [timeout] gives every call a deadline (so a black-holed connection
+    costs one typed [timeout] error, not a hung thread), and
+    [expected_from] seeds the byte-identity baseline from a clean
+    direct connection so the proxy cannot corrupt the reference line
+    itself. Failed calls are tallied per {!Wire.error_code} — the soak
+    harness distinguishes faults the client is {e allowed} to surface
+    ([timeout], [connection_lost], [overloaded]) from ones it is not
+    ([internal], [parse_error]).
 
     Latency is recorded per request into a private {!Obs.Metrics}
     histogram; the report carries its percentile summary. After the
@@ -24,11 +34,14 @@ type result = {
   clients : int;
   requests_total : int;  (** Issued across all clients. *)
   ok : int;
-  errors : int;  (** Structured error responses (any code). *)
+  errors : int;  (** Calls that ended in any typed error. *)
+  errors_by_code : (string * int) list;
+      (** [errors] broken down by {!Wire.code_string}, sorted by code;
+          the counts sum to [errors]. *)
   mismatches : int;  (** Byte-identity violations. *)
   elapsed_seconds : float;
   throughput_rps : float;
-  latency : Obs.Metrics.hist_summary;
+  latency : Obs.Metrics.hist_summary;  (** Successful calls only. *)
   server_stats : Obs.Json.t option;
       (** The server's [stats] payload, when it answered. *)
   cache_hit_rate : float option;  (** Extracted from [server_stats]. *)
@@ -38,13 +51,21 @@ val run :
   ?clients:int ->
   ?requests:int ->
   ?distinct:int ->
+  ?timeout:float ->
+  ?expected_from:Client.target ->
   target:Client.target ->
   unit ->
   result
-(** Defaults: 4 clients, 200 requests per client, 8 distinct queries. *)
+(** Defaults: 4 clients, 200 requests per client, 8 distinct queries,
+    no per-call deadline, baseline from first reply seen. When
+    [expected_from] is given, the baseline fetch happens before any
+    load is issued and raises [Invalid_argument] if the clean path
+    cannot answer — a broken baseline would make every mismatch count
+    meaningless. The post-run [stats] probe also prefers the direct
+    target. *)
 
 val print_report : result -> unit
 (** Human-readable summary on stdout. *)
 
 val to_json : result -> Obs.Json.t
-(** Schema ["probcons-loadgen/1"] — validated by [tools/validate_bench]. *)
+(** Schema ["probcons-loadgen/2"] — validated by [tools/validate_bench]. *)

@@ -107,6 +107,7 @@ let handle query =
   Obs.Metrics.incr m_handled;
   match query with
   | Wire.Stats -> Error (Wire.Internal, "stats is answered by the server")
+  | Wire.Ping -> Error (Wire.Internal, "ping is answered by the server")
   | Wire.Analyze { scenario } -> (
       (* Dispatch through the protocol registry: the model's own
          byz_fraction default (overridable per scenario), the model's
@@ -129,7 +130,7 @@ let handle query =
         | Wire.Markov { n; quorum; afr; mttr_hours } ->
             markov ~n ~quorum ~afr ~mttr_hours
         | Wire.Plan { target_nines; groups } -> plan ~target_nines ~groups
-        | Wire.Stats -> assert false
+        | Wire.Stats | Wire.Ping -> assert false
       with
       | payload -> Ok payload
       | exception e -> Error (Wire.Internal, Printexc.to_string e))

@@ -7,9 +7,9 @@
     Poisson binomial, exact enumeration — all deterministic at the
     sizes {!Wire} admits.
 
-    [Stats] is the one query the router cannot answer (it describes the
-    {e server}, not the maths); {!Server} intercepts it before dispatch
-    and this module returns [Internal] for it. *)
+    [Stats] and [Ping] are the queries the router cannot answer (they
+    describe the {e server}, not the maths); {!Server} intercepts them
+    before dispatch and this module returns [Internal] for them. *)
 
 val handle : Wire.query -> (Obs.Json.t, Wire.error_code * string) result
 (** Never raises: handler exceptions map to [Internal]. *)

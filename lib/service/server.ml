@@ -5,6 +5,8 @@ type config = {
   queue_depth : int;
   cache_capacity : int;
   deadline_seconds : float;
+  idle_timeout_seconds : float;
+  max_connections : int;
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     queue_depth = 64;
     cache_capacity = 1024;
     deadline_seconds = 5.;
+    idle_timeout_seconds = 300.;
+    max_connections = 1024;
   }
 
 (* --- Metrics ----------------------------------------------------------- *)
@@ -26,6 +30,10 @@ let m_error = Obs.Metrics.counter ~family:"service" "responses_error"
 let m_overload = Obs.Metrics.counter ~family:"service" "rejected_overload"
 let m_deadline = Obs.Metrics.counter ~family:"service" "rejected_deadline"
 let m_queue_depth = Obs.Metrics.gauge ~family:"service" "queue_depth"
+let m_idle_closed = Obs.Metrics.counter ~family:"service" "connections_idle_closed"
+
+let m_conn_rejected =
+  Obs.Metrics.counter ~family:"service" "connections_rejected"
 let m_queue_wait = Obs.Metrics.histogram ~family:"service" "queue_wait_seconds"
 let m_handle = Obs.Metrics.histogram ~family:"service" "handle_seconds"
 
@@ -63,8 +71,9 @@ type t = {
   mutable worker_host : Thread.t option;
   conns : (int, conn) Hashtbl.t;
   conns_mutex : Mutex.t;
-  mutable readers : Thread.t list;
+  readers : (int, Thread.t) Hashtbl.t;
   mutable next_conn : int;
+  started_at : float;
   stopped : bool Atomic.t;
   (* Server-local tallies for the [stats] query: available even when
      the global metrics registry is disabled. *)
@@ -174,6 +183,36 @@ let stats_payload t =
           ] );
     ]
 
+let connection_count t =
+  Mutex.lock t.conns_mutex;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mutex;
+  n
+
+(* The health-check payload: answered by the reader thread without
+   touching the queue, so it stays truthful precisely when the server
+   is overloaded or draining. Deliberately cheap and lock-light. *)
+let ping_payload t =
+  let depth, accepting =
+    Mutex.lock t.queue.qm;
+    let d = Queue.length t.queue.jobs and a = t.queue.accepting in
+    Mutex.unlock t.queue.qm;
+    (d, a)
+  in
+  Obs.Json.Obj
+    [
+      ("wire", Obs.Json.String Wire.protocol_name);
+      ("uptime_seconds", Obs.Json.number (Unix.gettimeofday () -. t.started_at));
+      ( "queue",
+        Obs.Json.Obj
+          [
+            ("capacity", Obs.Json.Int t.queue.capacity);
+            ("depth", Obs.Json.Int depth);
+          ] );
+      ("connections", Obs.Json.Int (connection_count t));
+      ("accepting", Obs.Json.Bool accepting);
+    ]
+
 let send_error t conn ~id code msg =
   Obs.Metrics.incr m_error;
   Atomic.incr t.n_error;
@@ -246,6 +285,13 @@ let handle_line t conn line =
     Atomic.incr t.n_requests;
     match Wire.parse_request line with
     | Error (id, code, msg) -> send_error t conn ~id code msg
+    | Ok { id; query = Wire.Ping } ->
+        (* Health checks bypass the queue: an overloaded or draining
+           server still answers them immediately. *)
+        Obs.Metrics.incr m_ok;
+        Atomic.incr t.n_ok;
+        reply conn
+          (Wire.encode_ok ~id ~payload:(Obs.Json.to_string (ping_payload t)))
     | Ok { id; query } -> (
         let job = { id; query; enqueued_at = Unix.gettimeofday (); conn } in
         match try_push t.queue job with
@@ -265,25 +311,46 @@ let remove_conn t key conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   Mutex.unlock conn.write_mutex
 
+(* Wait for [fd] to become readable within the idle budget. [true] if
+   readable, [false] on idle timeout ([idle <= 0] never times out). *)
+let wait_readable fd idle =
+  if idle <= 0. then true
+  else
+    let deadline = Unix.gettimeofday () +. idle in
+    let rec go () =
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then false
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
 let reader_loop t key conn =
-  let pending = ref "" in
+  let lines = Linebuf.create () in
   let chunk = Bytes.create 8192 in
   (* Returns the next newline-terminated line, or None on EOF, error,
-     or a line exceeding the wire limit (framing is unrecoverable, so
-     the connection is dropped). *)
+     idle timeout, or a line exceeding the wire limit (framing is
+     unrecoverable, so the connection is dropped). An abandoned socket
+     therefore releases this thread after [idle_timeout_seconds]
+     instead of pinning it forever. *)
   let rec next_line () =
-    match String.index_opt !pending '\n' with
-    | Some i ->
-        let line = String.sub !pending 0 i in
-        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
-        Some line
+    match Linebuf.next lines with
+    | Some line -> Some line
     | None ->
-        if String.length !pending > Wire.max_line_bytes then None
+        if Linebuf.partial_length lines > Wire.max_line_bytes then None
+        else if not (wait_readable conn.fd t.config.idle_timeout_seconds)
+        then begin
+          Obs.Metrics.incr m_idle_closed;
+          None
+        end
         else
           let k = try Unix.read conn.fd chunk 0 (Bytes.length chunk) with _ -> 0 in
           if k = 0 then None
           else begin
-            pending := !pending ^ Bytes.sub_string chunk 0 k;
+            Linebuf.feed lines chunk k;
             next_line ()
           end
   in
@@ -299,6 +366,38 @@ let reader_loop t key conn =
 
 (* --- Accept loop ------------------------------------------------------- *)
 
+(* Reclaim handles of readers whose connection is gone: once a conn
+   key has left [t.conns] its reader has passed its last touch of
+   shared state, so the join below is (at most) momentary. Without
+   this, a long chaos soak's churn would grow the reader table without
+   bound. *)
+let prune_readers t =
+  let stale =
+    Mutex.lock t.conns_mutex;
+    let s =
+      Hashtbl.fold
+        (fun key th acc ->
+          if Hashtbl.mem t.conns key then acc else (key, th) :: acc)
+        t.readers []
+    in
+    List.iter (fun (key, _) -> Hashtbl.remove t.readers key) s;
+    Mutex.unlock t.conns_mutex;
+    s
+  in
+  List.iter (fun (_, th) -> Thread.join th) stale
+
+(* Over the cap: answer [overloaded] and close, instead of silently
+   queueing the connection behind a reader thread we refuse to spawn.
+   The single small write cannot block on a fresh socket's empty
+   buffer. *)
+let reject_connection fd =
+  Obs.Metrics.incr m_conn_rejected;
+  let line =
+    Wire.encode_error ~id:None Wire.Overloaded "connection limit reached" ^ "\n"
+  in
+  (try write_all fd line with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 let accept_loop t =
   let rec go () =
     match Unix.select (t.stop_r :: t.listeners) [] [] (-1.) with
@@ -307,22 +406,28 @@ let accept_loop t =
     | ready, _, _ ->
         if List.mem t.stop_r ready then ()
         else begin
+          prune_readers t;
           List.iter
             (fun listener ->
               if List.mem listener ready then
                 match Unix.accept ~cloexec:true listener with
                 | exception Unix.Unix_error _ -> ()
                 | fd, _ ->
-                    Obs.Metrics.incr m_connections;
-                    let conn = { fd; write_mutex = Mutex.create (); alive = true } in
-                    Mutex.lock t.conns_mutex;
-                    let key = t.next_conn in
-                    t.next_conn <- key + 1;
-                    Hashtbl.replace t.conns key conn;
-                    t.readers <-
-                      Thread.create (fun () -> reader_loop t key conn) ()
-                      :: t.readers;
-                    Mutex.unlock t.conns_mutex)
+                    if connection_count t >= t.config.max_connections then
+                      reject_connection fd
+                    else begin
+                      Obs.Metrics.incr m_connections;
+                      let conn =
+                        { fd; write_mutex = Mutex.create (); alive = true }
+                      in
+                      Mutex.lock t.conns_mutex;
+                      let key = t.next_conn in
+                      t.next_conn <- key + 1;
+                      Hashtbl.replace t.conns key conn;
+                      Hashtbl.replace t.readers key
+                        (Thread.create (fun () -> reader_loop t key conn) ());
+                      Mutex.unlock t.conns_mutex
+                    end)
             t.listeners;
           go ()
         end
@@ -361,6 +466,7 @@ let start config =
       config with
       workers = max 1 config.workers;
       queue_depth = max 1 config.queue_depth;
+      max_connections = max 1 config.max_connections;
     }
   in
   if config.socket_path = None && config.tcp_port = None then
@@ -391,8 +497,9 @@ let start config =
       worker_host = None;
       conns = Hashtbl.create 16;
       conns_mutex = Mutex.create ();
-      readers = [];
+      readers = Hashtbl.create 16;
       next_conn = 0;
+      started_at = Unix.gettimeofday ();
       stopped = Atomic.make false;
       n_requests = Atomic.make 0;
       n_ok = Atomic.make 0;
@@ -435,9 +542,7 @@ let stop t =
     let live =
       Mutex.lock t.conns_mutex;
       let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
-      let readers = t.readers in
       Mutex.unlock t.conns_mutex;
-      ignore readers;
       l
     in
     List.iter
@@ -453,8 +558,8 @@ let stop t =
       live;
     let readers =
       Mutex.lock t.conns_mutex;
-      let r = t.readers in
-      t.readers <- [];
+      let r = Hashtbl.fold (fun _ th acc -> th :: acc) t.readers [] in
+      Hashtbl.reset t.readers;
       Mutex.unlock t.conns_mutex;
       r
     in

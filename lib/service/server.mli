@@ -14,6 +14,16 @@
       structured error, never by hanging the client. Requests that wait
       in the queue longer than the configured deadline are answered
       [deadline_exceeded] without being computed.
+    - {b Self-protection}: a connection that stays silent longer than
+      [idle_timeout_seconds] is closed and its reader thread released —
+      an abandoned or black-holed socket cannot pin server resources.
+      Accepts beyond [max_connections] are answered with a single
+      [overloaded] error line and closed. [ping] requests are answered
+      by the reader thread without entering the queue, so health checks
+      stay honest under overload and during drains. SIGPIPE is ignored
+      process-wide, and reader handles of finished connections are
+      pruned on the accept path so long fault-injection soaks do not
+      accumulate dead threads.
     - {b Workers}: [workers] lanes hosted on one {!Parallel.Pool.map}
       call, so each lane is a real domain (analyses run in parallel
       across requests) while nested analysis parallelism degrades to
@@ -37,12 +47,18 @@ type config = {
   queue_depth : int;  (** Bounded queue capacity; clamped to [1 ..]. *)
   cache_capacity : int;  (** LRU entries; [0] disables caching. *)
   deadline_seconds : float;  (** Per-request queue deadline. *)
+  idle_timeout_seconds : float;
+      (** Close a connection after this long with no readable bytes;
+          [<= 0] disables the timeout. *)
+  max_connections : int;
+      (** Live-connection cap; clamped to [1 ..]. Accepts beyond it are
+          answered [overloaded] and closed. *)
 }
 
 val default_config : config
 (** No listeners configured (callers must set at least one);
     [workers = Parallel.Pool.default ()], queue depth 64, cache 1024
-    entries, 5 s deadline. *)
+    entries, 5 s deadline, 300 s idle timeout, 1024 connections. *)
 
 type t
 
@@ -54,6 +70,10 @@ val start : config -> t
 val stop : t -> unit
 (** Graceful drain as described above. Idempotent; blocks until every
     thread and worker domain has joined. *)
+
+val connection_count : t -> int
+(** Live connections (each owns one reader thread). The chaos soak's
+    leak check: after clients disconnect this must return to zero. *)
 
 val run : config -> unit
 (** [start], then block until SIGINT or SIGTERM, then [stop]. Installs

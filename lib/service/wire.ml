@@ -14,6 +14,7 @@ type query =
   | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
   | Plan of { target_nines : float; groups : (int * float) list }
   | Stats
+  | Ping
 
 type error_code =
   | Parse_error
@@ -24,6 +25,8 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down
   | Internal
+  | Timeout
+  | Connection_lost
 
 let protocol_version = 2
 let min_protocol_version = 1
@@ -39,6 +42,8 @@ let code_string = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Timeout -> "timeout"
+  | Connection_lost -> "connection_lost"
 
 let code_of_string = function
   | "parse_error" -> Some Parse_error
@@ -49,6 +54,8 @@ let code_of_string = function
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
+  | "timeout" -> Some Timeout
+  | "connection_lost" -> Some Connection_lost
   | _ -> None
 
 type request = { id : int; query : query }
@@ -77,6 +84,7 @@ let kind_string = function
   | Markov _ -> "markov"
   | Plan _ -> "plan"
   | Stats -> "stats"
+  | Ping -> "ping"
 
 let json_groups groups =
   Obs.Json.List
@@ -128,12 +136,12 @@ let query_params = function
       @ [ ("afr", Obs.Json.number afr); ("mttr_hours", Obs.Json.number mttr_hours) ]
   | Plan { target_nines; groups } ->
       [ ("target_nines", Obs.Json.number target_nines); ("mix", json_groups groups) ]
-  | Stats -> []
+  | Stats | Ping -> []
 
 let canonical_key query =
   kind_string query ^ " " ^ Obs.Json.to_string (Obs.Json.Obj (query_params query))
 
-let cacheable = function Stats -> false | _ -> true
+let cacheable = function Stats | Ping -> false | _ -> true
 
 let encode_request { id; query } =
   Obs.Json.to_string
@@ -310,6 +318,7 @@ let parse_query ~kind ~params =
           groups = parse_groups params;
         }
   | "stats" -> Stats
+  | "ping" -> Ping
   | _ -> raise Not_found
 
 let parse_request line =
@@ -375,12 +384,17 @@ let parse_request line =
 let encode_ok ~id ~payload =
   Printf.sprintf "{\"v\": %d, \"id\": %d, \"ok\": %s}" protocol_version id payload
 
+(* An unattributable error (no parseable request id) must carry
+   [id: null], never a default integer: a numeric placeholder could
+   collide with a real in-flight request id, and a resilient client
+   would then accept a parse_error reply as the answer to a healthy
+   request. The chaos soak caught exactly that with placeholder 0. *)
 let encode_error ~id code msg =
   Obs.Json.to_string
     (Obs.Json.Obj
        [
          ("v", Obs.Json.Int protocol_version);
-         ("id", Obs.Json.Int (Option.value id ~default:0));
+         ("id", match id with Some i -> Obs.Json.Int i | None -> Obs.Json.Null);
          ( "error",
            Obs.Json.Obj
              [

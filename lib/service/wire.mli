@@ -53,6 +53,12 @@ type query =
   | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
   | Plan of { target_nines : float; groups : (int * float) list }
   | Stats  (** Server introspection; never cached. *)
+  | Ping
+      (** Health check: uptime, queue depth, live connections. Answered
+          by the reader thread {e before} the request queue, so an
+          overloaded or draining server still answers it — the probe a
+          load balancer or the chaos harness can rely on. Never
+          cached. *)
 
 type error_code =
   | Parse_error  (** The line is not valid JSON. *)
@@ -61,10 +67,21 @@ type error_code =
           [{!min_protocol_version}..{!protocol_version}]. *)
   | Bad_request  (** Envelope or params malformed / out of bounds. *)
   | Unknown_kind
-  | Overloaded  (** Request queue full — explicit backpressure. *)
+  | Overloaded
+      (** Request queue full, or the connection cap was hit — explicit
+          backpressure. *)
   | Deadline_exceeded  (** Queued past the server's deadline. *)
   | Shutting_down  (** Server draining; no new work accepted. *)
   | Internal
+  | Timeout
+      (** Client-side: the per-call deadline expired with no complete,
+          well-formed reply. Never sent by the server — minted by
+          {!Client} (and counted by {!Loadgen}) so a stalled socket
+          surfaces as a typed error instead of a hang. *)
+  | Connection_lost
+      (** Client-side: the connection dropped (reset, EOF, corrupted
+          framing) and the retry budget ran out. Never sent by the
+          server. *)
 
 val protocol_version : int
 (** 2 — the version the server speaks and stamps on responses. *)
@@ -102,13 +119,17 @@ val canonical_key : query -> string
     same key are guaranteed the same response payload. *)
 
 val cacheable : query -> bool
-(** All compute queries are; [Stats] is not. *)
+(** All compute queries are; [Stats] and [Ping] are not. *)
 
 val encode_ok : id:int -> payload:string -> string
 (** [payload] must be rendered JSON (it is spliced verbatim, which is
     what keeps cached responses byte-identical). *)
 
 val encode_error : id:int option -> error_code -> string -> string
+(** [id = None] (the request id could not be parsed) encodes as
+    [id: null] — never a placeholder integer, which could collide with
+    a real in-flight id and let a corruption-triggered error reply
+    answer a healthy request. *)
 
 type response = {
   rid : int option;  (** Echoed id; [None] on malformed responses. *)

@@ -19,5 +19,6 @@ let () =
       ("rabia", Test_rabia.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
+      ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
     ]

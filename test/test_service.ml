@@ -77,6 +77,7 @@ let all_queries =
     Wire.Markov { n = 7; quorum = Some 4; afr = 0.08; mttr_hours = 12. };
     Wire.Plan { target_nines = 3.; groups = [ (3, 0.001); (8, 0.02) ] };
     Wire.Stats;
+    Wire.Ping;
   ]
 
 let test_wire_roundtrip () =
@@ -103,7 +104,7 @@ let test_wire_error_codes () =
     [
       Wire.Parse_error; Wire.Unsupported_version; Wire.Bad_request;
       Wire.Unknown_kind; Wire.Overloaded; Wire.Deadline_exceeded;
-      Wire.Shutting_down; Wire.Internal;
+      Wire.Shutting_down; Wire.Internal; Wire.Timeout; Wire.Connection_lost;
     ];
   Alcotest.(check (option code)) "unknown" None (Wire.code_of_string "nope")
 
@@ -332,16 +333,19 @@ let test_router_matches_direct () =
 let test_router_deterministic () =
   List.iter
     (fun query ->
-      if query <> Wire.Stats then
+      if query <> Wire.Stats && query <> Wire.Ping then
         let a = Obs.Json.to_string (handle_ok query) in
         let b = Obs.Json.to_string (handle_ok query) in
         Alcotest.(check string) "byte-identical payloads" a b)
     all_queries
 
 let test_router_stats_rejected () =
-  match Router.handle Wire.Stats with
+  (match Router.handle Wire.Stats with
   | Error (Wire.Internal, _) -> ()
-  | _ -> Alcotest.fail "stats must not be routed"
+  | _ -> Alcotest.fail "stats must not be routed");
+  match Router.handle Wire.Ping with
+  | Error (Wire.Internal, _) -> ()
+  | _ -> Alcotest.fail "ping must not be routed"
 
 let test_router_all_models () =
   (* The service answers analyze for every registry entry, and the
@@ -489,8 +493,8 @@ let test_e2e_overload () =
       let server =
         Server.start
           {
+            Server.default_config with
             Server.socket_path = Some socket;
-            tcp_port = None;
             workers = 1;
             queue_depth = 1;
             cache_capacity = 0;
@@ -541,8 +545,8 @@ let test_e2e_deadline () =
       let server =
         Server.start
           {
+            Server.default_config with
             Server.socket_path = Some socket;
-            tcp_port = None;
             workers = 1;
             queue_depth = 4;
             cache_capacity = 0;

@@ -3,8 +3,12 @@
 
    - probcons-bench/2    the bench harness's --json artifact
    - probcons-loadgen/1  the service load generator's --json artifact
+     (legacy; current runs emit /2)
+   - probcons-loadgen/2  loadgen with a per-error-code breakdown
+   - probcons-chaos/1    the chaos soak harness: fault plan + injection
+     counts + the embedded loadgen/2 report + the drain check
 
-   CI runs this against both before archiving; a non-zero exit fails
+   CI runs this against each before archiving; a non-zero exit fails
    the workflow rather than shipping a malformed artifact. *)
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("FAIL: " ^ msg); exit 1) fmt
@@ -80,9 +84,31 @@ let validate_bench path doc =
             path (List.length rows) (List.length samples)
             (Hashtbl.length scenario_cache))
 
-(* --- probcons-loadgen/1 ------------------------------------------------ *)
+(* --- probcons-loadgen/1 and /2 ----------------------------------------- *)
 
-let validate_loadgen path doc =
+(* v2 adds errors_by_code: an object of non-negative per-code counts
+   that must sum to the errors total — the soak harness keys its
+   pass/fail decision on which codes appear, so a malformed breakdown
+   is a schema failure, not a cosmetic one. *)
+let check_errors_by_code doc errors =
+  match Obs.Json.member "errors_by_code" doc with
+  | Some (Obs.Json.Obj fields) ->
+      let sum =
+        List.fold_left
+          (fun acc (name, v) ->
+            match v with
+            | Obs.Json.Int n when n > 0 -> acc + n
+            | Obs.Json.Int n ->
+                fail "errors_by_code.%s must be positive, got %d" name n
+            | _ -> fail "errors_by_code.%s must be an integer" name)
+          0 fields
+      in
+      if sum <> errors then
+        fail "errors_by_code sums to %d but errors is %d" sum errors
+  | Some _ -> fail "errors_by_code must be an object"
+  | None -> fail "missing errors_by_code"
+
+let validate_loadgen ?(version = 1) path doc =
   let require_int key =
     match int_field key doc with
     | Some i when i >= 0 -> i
@@ -102,6 +128,7 @@ let validate_loadgen path doc =
   if ok + errors <> total then
     fail "ok (%d) + errors (%d) does not account for requests_total (%d)" ok
       errors total;
+  if version >= 2 then check_errors_by_code doc errors;
   (match num "throughput_rps" doc with
   | Some v when Float.is_finite v && v > 0. -> ()
   | Some v -> fail "throughput_rps not finite and positive (%g)" v
@@ -122,6 +149,56 @@ let validate_loadgen path doc =
   Printf.printf "%s: OK (%d clients, %d requests, %d errors, %d mismatches)\n"
     path clients total errors mismatches
 
+(* --- probcons-chaos/1 --------------------------------------------------- *)
+
+let validate_chaos path doc =
+  let chaos =
+    match Obs.Json.member "chaos" doc with
+    | Some (Obs.Json.Obj _ as c) -> c
+    | Some _ -> fail "chaos must be an object"
+    | None -> fail "missing chaos report"
+  in
+  (match Obs.Json.member "plan" chaos with
+  | None -> fail "missing chaos.plan"
+  | Some plan -> (
+      match Service.Chaos.plan_of_json plan with
+      | Ok _ -> ()
+      | Error msg -> fail "chaos.plan: %s" msg));
+  let fault_count =
+    match Obs.Json.member "counts" chaos with
+    | Some (Obs.Json.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Obs.Json.Int n when n >= 0 -> ()
+            | Obs.Json.Int n ->
+                fail "chaos.counts.%s must be non-negative, got %d" name n
+            | _ -> fail "chaos.counts.%s must be an integer" name)
+          fields;
+        List.length fields
+    | Some _ -> fail "chaos.counts must be an object"
+    | None -> fail "missing chaos.counts"
+  in
+  (match Obs.Json.member "drained" doc with
+  | Some (Obs.Json.Bool _) -> ()
+  | Some _ -> fail "drained must be a boolean"
+  | None -> fail "missing drained flag");
+  (match int_field "connections_after" doc with
+  | Some n when n >= 0 -> ()
+  | Some n -> fail "connections_after must be non-negative, got %d" n
+  | None -> fail "missing integer connections_after");
+  let loadgen =
+    match Obs.Json.member "loadgen" doc with
+    | Some l -> l
+    | None -> fail "missing embedded loadgen report"
+  in
+  (match str "schema" loadgen with
+  | Some "probcons-loadgen/2" -> ()
+  | Some other -> fail "embedded loadgen has schema %S, want probcons-loadgen/2" other
+  | None -> fail "embedded loadgen is missing its schema tag");
+  validate_loadgen ~version:2 (path ^ "#loadgen") loadgen;
+  Printf.printf "%s: OK (chaos soak, %d fault counters)\n" path fault_count
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
@@ -139,6 +216,8 @@ let () =
   in
   match str "schema" doc with
   | Some "probcons-bench/2" -> validate_bench path doc
-  | Some "probcons-loadgen/1" -> validate_loadgen path doc
+  | Some "probcons-loadgen/1" -> validate_loadgen ~version:1 path doc
+  | Some "probcons-loadgen/2" -> validate_loadgen ~version:2 path doc
+  | Some "probcons-chaos/1" -> validate_chaos path doc
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "missing schema tag"
