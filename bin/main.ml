@@ -662,8 +662,27 @@ let serve_cmd =
       & info [ "max-connections" ] ~docv:"N"
           ~doc:"Live-connection cap; excess accepts are answered 'overloaded'.")
   in
+  let max_pipeline_arg =
+    Arg.(
+      value
+      & opt int Service.Server.default_config.Service.Server.max_pipeline
+      & info [ "max-pipeline" ] ~docv:"N"
+          ~doc:
+            "Outstanding requests allowed per connection before the reactor \
+             stops reading it (backpressure, not an error).")
+  in
+  let wire_arg =
+    Arg.(
+      value
+      & opt int Service.Wire.protocol_version
+      & info [ "wire" ] ~docv:"V"
+          ~doc:
+            "Highest wire framing accepted: 3 (default) auto-detects binary \
+             frames and legacy lines per connection; 2 restricts to \
+             newline-delimited framing.")
+  in
   let run socket port workers queue_depth cache_capacity deadline idle_timeout
-      max_connections () =
+      max_connections max_pipeline wire () =
     if socket = None && port = None then begin
       prerr_endline "probcons serve: set --socket PATH and/or --port PORT";
       exit 2
@@ -674,8 +693,9 @@ let serve_cmd =
     (match port with
     | Some port -> Format.printf "listening on 127.0.0.1:%d@." port
     | None -> ());
-    Format.printf "%s: %d workers, queue %d, cache %d, deadline %gs@."
-      Service.Wire.protocol_name workers queue_depth cache_capacity deadline;
+    Format.printf "%s: %d workers, queue %d, cache %d, deadline %gs, wire <= %d@."
+      Service.Wire.protocol_name workers queue_depth cache_capacity deadline
+      wire;
     Service.Server.run
       {
         Service.Server.socket_path = socket;
@@ -686,17 +706,57 @@ let serve_cmd =
         deadline_seconds = deadline;
         idle_timeout_seconds = idle_timeout;
         max_connections;
+        max_pipeline;
+        max_wire = wire;
       }
   in
   Cmd.v
     (cmd_info "serve"
        ~doc:
-         "Serve reliability queries over newline-delimited JSON \
-          (Unix-domain socket and/or loopback TCP) until SIGINT/SIGTERM.")
+         "Serve reliability queries (binary wire/3 frames and legacy \
+          newline-delimited JSON, auto-detected per connection) over a \
+          Unix-domain socket and/or loopback TCP until SIGINT/SIGTERM.")
     (with_metrics
        Term.(
          const run $ socket_arg $ port_arg $ workers_arg $ queue_arg $ cache_arg
-         $ deadline_arg $ idle_timeout_arg $ max_connections_arg))
+         $ deadline_arg $ idle_timeout_arg $ max_connections_arg
+         $ max_pipeline_arg $ wire_arg))
+
+(* Client-side wire selection, shared by loadgen / chaos / servebench. *)
+let client_wire_arg =
+  Arg.(
+    value
+    & opt int Service.Wire.protocol_version
+    & info [ "wire" ] ~docv:"V"
+        ~doc:
+          "Wire version the clients speak: 3 (default) uses binary frames, 2 \
+           or 1 the legacy newline framing with that version stamped on \
+           requests.")
+
+let loadgen_pipeline_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline" ] ~docv:"N"
+        ~doc:
+          "Requests kept outstanding per connection (1 = one resilient call \
+           at a time; >1 pipelines over the raw framing).")
+
+let loadgen_duration_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "duration" ] ~docv:"S"
+        ~doc:
+          "Run for a measured window of $(docv) seconds (after the warmup) \
+           instead of a fixed request count; --requests is then ignored.")
+
+let loadgen_warmup_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "warmup" ] ~docv:"S"
+        ~doc:
+          "Unrecorded warmup seconds before the measured window (only with \
+           --duration).")
 
 let loadgen_cmd =
   let clients_arg =
@@ -717,7 +777,7 @@ let loadgen_cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the probcons-loadgen/2 result artifact to $(docv).")
+          ~doc:"Write the probcons-loadgen/3 result artifact to $(docv).")
   in
   let call_deadline_arg =
     Arg.(
@@ -728,7 +788,8 @@ let loadgen_cmd =
             "Per-call deadline in seconds; calls past it count as 'timeout' \
              errors instead of blocking. Default: no deadline.")
   in
-  let run socket port clients requests distinct deadline json () =
+  let run socket port clients requests distinct deadline duration warmup
+      pipeline wire json () =
     let target =
       match (socket, port) with
       | Some path, _ -> Service.Client.Unix_path path
@@ -739,7 +800,7 @@ let loadgen_cmd =
     in
     let r =
       Service.Loadgen.run ~clients ~requests ~distinct ?timeout:deadline
-        ~target ()
+        ?duration ~warmup ~pipeline ~wire ~target ()
     in
     Service.Loadgen.print_report r;
     (match json with
@@ -756,12 +817,16 @@ let loadgen_cmd =
   Cmd.v
     (cmd_info "loadgen"
        ~doc:
-         "Generate closed-loop load against a running server and report \
-          throughput, latency percentiles and response byte-identity.")
+         "Generate closed-loop load against a running server (wire/3 binary \
+          frames or legacy lines, optionally pipelined and duration-bounded) \
+          and report throughput, latency percentiles and response \
+          byte-identity.")
     (with_metrics
        Term.(
          const run $ socket_arg $ port_arg $ clients_arg $ requests_arg
-         $ distinct_arg $ call_deadline_arg $ json_arg))
+         $ distinct_arg $ call_deadline_arg $ loadgen_duration_arg
+         $ loadgen_warmup_arg $ loadgen_pipeline_arg $ client_wire_arg
+         $ json_arg))
 
 (* --- chaos -------------------------------------------------------------- *)
 
@@ -836,7 +901,7 @@ let chaos_cmd =
             Printf.eprintf "probcons chaos: bad plan file %s: %s\n" file msg;
             exit 2)
   in
-  let run seed plan_file clients requests distinct deadline json () =
+  let run seed plan_file clients requests distinct deadline wire json () =
     let plan = read_plan plan_file seed in
     let server_sock = temp_socket "server" and proxy_sock = temp_socket "proxy" in
     let server =
@@ -852,10 +917,11 @@ let chaos_cmd =
         ~listen:(Service.Client.Unix_path proxy_sock)
         ~upstream:(Service.Client.Unix_path server_sock)
     in
-    Format.printf "chaos soak: seed %d, %d clients x %d requests, %gs deadline@."
-      plan.Service.Chaos.seed clients requests deadline;
+    Format.printf
+      "chaos soak: seed %d, %d clients x %d requests, %gs deadline, wire/%d@."
+      plan.Service.Chaos.seed clients requests deadline wire;
     let r =
-      Service.Loadgen.run ~clients ~requests ~distinct ~timeout:deadline
+      Service.Loadgen.run ~clients ~requests ~distinct ~timeout:deadline ~wire
         ~expected_from:(Service.Client.Unix_path server_sock)
         ~target:(Service.Client.Unix_path proxy_sock)
         ()
@@ -936,7 +1002,121 @@ let chaos_cmd =
     (with_metrics
        Term.(
          const run $ seed_arg $ plan_arg $ clients_arg $ requests_arg
-         $ distinct_arg $ call_deadline_arg $ json_arg))
+         $ distinct_arg $ call_deadline_arg $ client_wire_arg $ json_arg))
+
+(* --- servebench --------------------------------------------------------- *)
+
+let servebench_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 12 & info [ "clients" ] ~docv:"C" ~doc:"Concurrent clients.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "distinct" ] ~docv:"K" ~doc:"Distinct queries in the pool.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Measured window per wire row.")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "warmup" ] ~docv:"S" ~doc:"Unrecorded warmup per wire row.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Outstanding requests per connection for the wire/3 row.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the probcons-service-bench/1 artifact to $(docv).")
+  in
+  let run clients distinct duration warmup pipeline json () =
+    let sock = Filename.temp_file "probcons-bench" ".sock" in
+    Sys.remove sock;
+    let server =
+      Service.Server.start
+        {
+          Service.Server.default_config with
+          socket_path = Some sock;
+          queue_depth = 256;
+          cache_capacity = 4096;
+        }
+    in
+    let target = Service.Client.Unix_path sock in
+    let row ~wire ~pipeline =
+      Format.printf "servebench: wire/%d, pipeline %d, %gs window...@." wire
+        pipeline duration;
+      let r =
+        Service.Loadgen.run ~clients ~distinct ~duration ~warmup ~pipeline
+          ~wire ~target ()
+      in
+      Service.Loadgen.print_report r;
+      r
+    in
+    (* wire/2 first: the legacy newline framing, one call at a time —
+       the committed baseline's discipline. Then wire/3: binary frames,
+       pipelined. Same server, same pool, same window. *)
+    let r2 = row ~wire:2 ~pipeline:1 in
+    let r3 = row ~wire:3 ~pipeline in
+    Service.Server.stop server;
+    let speedup =
+      if r2.Service.Loadgen.throughput_rps > 0. then
+        r3.Service.Loadgen.throughput_rps /. r2.Service.Loadgen.throughput_rps
+      else 0.
+    in
+    Format.printf "servebench: wire/3 is %.2fx wire/2 (%.0f vs %.0f req/s)@."
+      speedup r3.Service.Loadgen.throughput_rps
+      r2.Service.Loadgen.throughput_rps;
+    let artifact =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.String "probcons-service-bench/1");
+          ( "rows",
+            Obs.Json.List
+              [ Service.Loadgen.to_json r2; Service.Loadgen.to_json r3 ] );
+          ("speedup", Obs.Json.number speedup);
+        ]
+    in
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string artifact);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "servebench artifact written to %s@." path);
+    let broken r =
+      r.Service.Loadgen.errors > 0 || r.Service.Loadgen.mismatches > 0
+    in
+    if broken r2 || broken r3 then exit 1;
+    if speedup <= 1.0 then begin
+      Printf.eprintf
+        "servebench: FAIL: wire/3 (%.0f req/s) is not faster than wire/2 \
+         (%.0f req/s)\n"
+        r3.Service.Loadgen.throughput_rps r2.Service.Loadgen.throughput_rps;
+      exit 1
+    end
+  in
+  Cmd.v
+    (cmd_info "servebench"
+       ~doc:
+         "Benchmark an in-process server over both wire framings (wire/2 \
+          serial lines, then wire/3 pipelined binary frames) on the clean \
+          cached path and emit a two-row comparison artifact; fails unless \
+          wire/3 beats wire/2.")
+    (with_metrics
+       Term.(
+         const run $ clients_arg $ distinct_arg $ duration_arg $ warmup_arg
+         $ pipeline_arg $ json_arg))
 
 let version_cmd =
   let run () =
@@ -956,7 +1136,7 @@ let main_cmd =
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
       bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
-      version_cmd;
+      servebench_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -4,9 +4,18 @@
 type node = {
   key : string;
   value : string;
+  (* Memo of the last fully rendered reply per framing: (id, bytes).
+     Replies differ only by request id around an identical payload, so
+     an id-stable client (the common case — loadgen and pipelining
+     clients key ids by query) gets its whole reply as one slice.
+     Reactor-thread only; see the .mli. *)
+  mutable line_reply : (int * string) option;
+  mutable frame_reply : (int * string) option;
   mutable prev : node option;
   mutable next : node option;
 }
+
+type entry = node
 
 type t = {
   capacity : int;
@@ -74,11 +83,23 @@ let find t key =
             push_front t node;
             t.hits <- t.hits + 1;
             Obs.Metrics.incr t.m_hits;
-            Some node.value
+            Some node
         | None ->
             t.misses <- t.misses + 1;
             Obs.Metrics.incr t.m_misses;
             None)
+
+let payload (e : entry) = e.value
+
+let rendered (e : entry) ~binary ~id ~render =
+  let memo = if binary then e.frame_reply else e.line_reply in
+  match memo with
+  | Some (memo_id, bytes) when memo_id = id -> bytes
+  | _ ->
+      let bytes = render () in
+      if binary then e.frame_reply <- Some (id, bytes)
+      else e.line_reply <- Some (id, bytes);
+      bytes
 
 let add t key value =
   if t.capacity > 0 then
@@ -99,10 +120,17 @@ let add t key value =
                   Obs.Metrics.incr t.m_evictions
               | None -> ()
             end;
-            let node = { key; value; prev = None; next = None } in
+            let node =
+              { key; value; line_reply = None; frame_reply = None;
+                prev = None; next = None }
+            in
             Hashtbl.replace t.table key node;
             push_front t node);
         Obs.Metrics.set t.m_entries (Hashtbl.length t.table))
+
+let count_hit t =
+  Obs.Metrics.incr t.m_hits;
+  locked t (fun () -> t.hits <- t.hits + 1)
 
 let length t = locked t (fun () -> Hashtbl.length t.table)
 let stats t = locked t (fun () -> (t.hits, t.misses, t.evictions))

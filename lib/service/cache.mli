@@ -6,13 +6,27 @@
     preserves the repo's determinism guarantee: a hit replays exactly
     what a miss computed.
 
-    All operations are domain-safe (one mutex; the critical sections
-    are pointer swaps). Two concurrent misses on the same key both
-    compute and the second {!add} wins harmlessly — admission is
+    A hit returns an {!entry} rather than the raw string: alongside the
+    payload, each entry memoizes the most recent {e fully rendered}
+    reply per framing (the envelope — and frame header, for wire/3 —
+    around the payload, which depends only on the request id). A client
+    that reuses its ids, as the load generator and any pipelining
+    client naturally do, therefore gets its whole reply as one
+    preassembled slice: the reactor writes it with a single syscall and
+    zero per-request assembly. An id change re-renders once and
+    replaces the memo.
+
+    All map operations are domain-safe (one mutex; the critical
+    sections are pointer swaps). Two concurrent misses on the same key
+    both compute and the second {!add} wins harmlessly — admission is
     idempotent because values for one key are identical by
-    construction. *)
+    construction. The rendered memos are {e not} locked: they must only
+    be touched from the single reactor thread (the only writer of
+    replies). *)
 
 type t
+
+type entry
 
 val create : ?registry:Obs.Metrics.t -> capacity:int -> unit -> t
 (** [capacity <= 0] disables the cache (every lookup misses, nothing is
@@ -22,12 +36,26 @@ val create : ?registry:Obs.Metrics.t -> capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val find : t -> string -> string option
+val find : t -> string -> entry option
 (** Promotes the entry to most-recently-used on a hit. *)
 
+val payload : entry -> string
+(** The rendered JSON payload this entry caches. *)
+
+val rendered : entry -> binary:bool -> id:int -> render:(unit -> string) -> string
+(** The full reply bytes for this payload under the given framing and
+    request id: the memoized string when [(binary, id)] matches the
+    last request, else [render ()], memoized. Reactor-thread only. *)
+
 val add : t -> string -> string -> unit
-(** Insert, evicting the least-recently-used entry when full. Re-adding
-    an existing key refreshes its recency but keeps the first value. *)
+(** Insert a payload, evicting the least-recently-used entry when full.
+    Re-adding an existing key refreshes its recency but keeps the first
+    value. *)
+
+val count_hit : t -> unit
+(** Record a hit that bypassed {!find}: the server's raw-request-bytes
+    fast path replays a reply without a key lookup, but the hit-rate
+    the [stats] query reports must still count it. *)
 
 val length : t -> int
 

@@ -19,11 +19,14 @@ let m_retries = Obs.Metrics.counter ~family:"client" "call_retries"
 
 type t = {
   target : target;
+  wire : int;  (* 1 | 2 -> newline framing; 3 -> binary frames *)
+  binary : bool;
   backoff : backoff;
   rng : Prob.Rng.t;
   timeout : float option;  (* default per-call budget *)
   mutable fd : Unix.file_descr option;
   lines : Linebuf.t;
+  frames : Frame.decoder;
   chunk : Bytes.t;
 }
 
@@ -78,14 +81,18 @@ let disconnect t =
   | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   t.fd <- None;
-  Linebuf.reset t.lines
+  Linebuf.reset t.lines;
+  Frame.reset t.frames
 
 let reconnect t ~deadline =
   disconnect t;
   Obs.Metrics.incr m_reconnects;
   t.fd <- Some (connect_once t ~deadline)
 
-let connect ?(retry_for = 0.) ?(backoff = default_backoff) ?timeout target =
+let connect ?(wire = Wire.protocol_version) ?(retry_for = 0.)
+    ?(backoff = default_backoff) ?timeout target =
+  if wire < Wire.min_protocol_version || wire > Wire.protocol_version then
+    invalid_arg (Printf.sprintf "Client.connect: unsupported wire version %d" wire);
   (* Writes to a dead peer must surface as EPIPE, not kill the
      process: same audit as the server side. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -93,16 +100,21 @@ let connect ?(retry_for = 0.) ?(backoff = default_backoff) ?timeout target =
   let t =
     {
       target;
+      wire;
+      binary = wire >= 3;
       backoff;
       rng = Prob.Rng.create backoff.seed;
       timeout;
       fd = None;
       lines = Linebuf.create ();
-      chunk = Bytes.create 8192;
+      frames = Frame.create ();
+      chunk = Bytes.create 65536;
     }
   in
   t.fd <- Some (connect_once t ~deadline:(Unix.gettimeofday () +. retry_for));
   t
+
+let wire_version t = t.wire
 
 let fd_exn t =
   match t.fd with Some fd -> fd | None -> raise (Lost "not connected")
@@ -130,9 +142,8 @@ let wait_io fd ~readable ~deadline =
       in
       go ()
 
-let send_line_deadline t ~deadline line =
+let send_bytes_deadline t ~deadline s =
   let fd = fd_exn t in
-  let s = line ^ "\n" in
   let len = String.length s in
   let rec go off =
     if off < len then begin
@@ -145,51 +156,99 @@ let send_line_deadline t ~deadline line =
   in
   go 0
 
-let recv_line_deadline t ~deadline =
+(* Send one request body under the connection's framing. *)
+let send_body_deadline t ~deadline body =
+  send_bytes_deadline t ~deadline
+    (if t.binary then Frame.encode body else body ^ "\n")
+
+let read_chunk t ~deadline ~feed =
   let fd = fd_exn t in
-  let rec go () =
-    match Linebuf.next t.lines with
-    | Some line -> line
-    | None ->
-        if Linebuf.partial_length t.lines > Wire.max_line_bytes then
-          raise (Lost "reply line exceeds the wire limit")
-        else begin
-          wait_io fd ~readable:true ~deadline;
-          match Unix.read fd t.chunk 0 (Bytes.length t.chunk) with
-          | 0 -> raise (Lost "connection closed by server")
-          | k ->
-              Linebuf.feed t.lines t.chunk k;
-              go ()
-          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
-            ->
-              raise (Lost "connection reset by server")
-        end
-  in
-  go ()
+  wait_io fd ~readable:true ~deadline;
+  match Unix.read fd t.chunk 0 (Bytes.length t.chunk) with
+  | 0 -> raise (Lost "connection closed by server")
+  | k -> feed t.chunk k
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      raise (Lost "connection reset by server")
 
-(* --- Raw blocking framing (tests, pipelining, loadgen baselines) ------- *)
+(* Receive one response body under the connection's framing. On a
+   binary connection a framing violation (bad magic, bad version,
+   oversized frame) means the stream can no longer be trusted — same
+   treatment as a torn line: [Lost], and the caller rebuilds the
+   connection. *)
+let recv_body_deadline t ~deadline =
+  if t.binary then
+    let rec go () =
+      match Frame.next t.frames with
+      | Ok (Some body) -> body
+      | Ok None ->
+          read_chunk t ~deadline ~feed:(fun c k -> Frame.feed t.frames c k);
+          go ()
+      | Error e -> raise (Lost ("corrupted frame: " ^ Frame.error_message e))
+    in
+    go ()
+  else
+    let rec go () =
+      match Linebuf.next t.lines with
+      | Some line -> line
+      | None ->
+          if Linebuf.partial_length t.lines > Wire.max_line_bytes then
+            raise (Lost "reply line exceeds the wire limit")
+          else begin
+            read_chunk t ~deadline ~feed:(fun c k -> Linebuf.feed t.lines c k);
+            go ()
+          end
+    in
+    go ()
 
-let send_line t line = send_line_deadline t ~deadline:None line
+(* --- Raw blocking framing (tests, pipelining, loadgen) ------------------ *)
+
+let send_line t body = send_body_deadline t ~deadline:None body
+
+(* Batched pipelined send: every body framed into one buffer, written
+   with (usually) a single syscall. This is what makes deep pipelines
+   pay off — the per-request cost on the send side drops to a blit. *)
+let send_lines t bodies =
+  match bodies with
+  | [] -> ()
+  | [ body ] -> send_line t body
+  | _ ->
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun body ->
+          if t.binary then Buffer.add_string buf (Frame.encode body)
+          else begin
+            Buffer.add_string buf body;
+            Buffer.add_char buf '\n'
+          end)
+        bodies;
+      send_bytes_deadline t ~deadline:None (Buffer.contents buf)
 
 let recv_line t =
-  match recv_line_deadline t ~deadline:None with
-  | line -> Some line
+  match recv_body_deadline t ~deadline:None with
+  | body -> Some body
   | exception Lost _ -> None
 
-let call_raw t line =
-  send_line t line;
+let call_raw t body =
+  send_line t body;
   recv_line t
+
+let recv_line_timeout t ~timeout =
+  match
+    recv_body_deadline t ~deadline:(Some (Unix.gettimeofday () +. timeout))
+  with
+  | body -> Some body
+  | exception (Timed_out | Lost _) -> None
 
 (* --- Resilient calls --------------------------------------------------- *)
 
-(* One attempt: send, then read lines until one parses as a response
+(* One attempt: send, then read bodies until one parses as a response
    carrying our id. Anything else on the stream — garbage bytes, a
    broken envelope, a foreign id — means the connection's framing can
    no longer be trusted, so the attempt dies as [Lost] and the retry
    path rebuilds it from a fresh socket. *)
-let attempt_call t ~deadline ~id line =
-  send_line_deadline t ~deadline line;
-  let reply = recv_line_deadline t ~deadline in
+let attempt_call t ~deadline ~id body =
+  send_body_deadline t ~deadline body;
+  let reply = recv_body_deadline t ~deadline in
   match Wire.parse_response reply with
   | Error msg -> raise (Lost ("corrupted response: " ^ msg))
   | Ok { Wire.rid; _ } ->
@@ -201,7 +260,7 @@ let attempt_call t ~deadline ~id line =
                 id))
       else reply
 
-let call_line ?timeout ?(max_attempts = 3) t ~id line =
+let call_line ?timeout ?(max_attempts = 3) t ~id body =
   let timeout = match timeout with Some _ as s -> s | None -> t.timeout in
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
   let time_left () =
@@ -215,12 +274,12 @@ let call_line ?timeout ?(max_attempts = 3) t ~id line =
   let rec attempt k =
     match
       if t.fd = None then reconnect t ~deadline:(reconnect_deadline ());
-      attempt_call t ~deadline ~id line
+      attempt_call t ~deadline ~id body
     with
     | reply -> Ok reply
     | exception Timed_out ->
         (* The reply may still arrive later; keeping the socket would
-           let a stale line answer the next call. Poisoned — drop it. *)
+           let a stale reply answer the next call. Poisoned — drop it. *)
         Obs.Metrics.incr m_timeouts;
         disconnect t;
         Error (Wire.Timeout, "no reply within the per-call deadline")
@@ -245,7 +304,7 @@ let call_line ?timeout ?(max_attempts = 3) t ~id line =
 let call ?timeout ?max_attempts t ~id query =
   match
     call_line ?timeout ?max_attempts t ~id
-      (Wire.encode_request { Wire.id; query })
+      (Wire.encode_request ~v:t.wire { Wire.id; query })
   with
   | Error e -> Error e
   | Ok reply -> (

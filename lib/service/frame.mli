@@ -1,0 +1,81 @@
+(** The [probcons-wire/3] binary framing codec.
+
+    A frame is a fixed 6-byte header followed by the payload bytes:
+
+    {v
+      offset 0   magic byte 0xFB   (never a valid first byte of JSON
+                                    or UTF-8 text, so a server can
+                                    distinguish a wire/3 connection
+                                    from a newline-JSON one on the
+                                    first byte it reads)
+      offset 1   version byte      (0x03 for wire/3)
+      offset 2   u32 payload length, big-endian
+      offset 6   payload           (the canonical JSON body — exactly
+                                    the bytes a wire/2 line carries,
+                                    minus the trailing newline)
+    v}
+
+    The payload stays the canonical JSON request/response body, so the
+    reply cache, [Registry.analyze_json] and the byte-identity
+    guarantee are untouched by the framing: the same query returns the
+    same payload bytes whether it arrives as a line or as a frame.
+
+    Decoding is total and incremental: bytes are fed in arbitrary
+    splits (the chaos proxy's partial writes land here), the header is
+    validated as soon as its 6 bytes are available — a bad magic, bad
+    version, zero-length or oversized frame is a typed {!error} before
+    any payload arrives — and a decoder that has errored stays errored:
+    framing corruption is unrecoverable by design, the connection must
+    be torn down. *)
+
+val magic : char
+(** [0xFB]. *)
+
+val version : int
+(** [3]. *)
+
+val header_bytes : int
+(** [6]. *)
+
+val max_payload_bytes : int
+(** Largest accepted payload — {!Wire.max_line_bytes}, so the two
+    framings bound requests identically. *)
+
+type error =
+  | Bad_magic of int  (** First header byte, as a char code. *)
+  | Bad_version of int
+  | Zero_length  (** Empty frames are invalid: no message is empty. *)
+  | Oversized of int  (** Declared payload length beyond the bound. *)
+
+val error_message : error -> string
+
+val encode : string -> string
+(** [encode payload] is the full frame, header included. Raises
+    [Invalid_argument] on an empty or oversized payload. *)
+
+val header : payload_bytes:int -> string
+(** Just the 6 header bytes for a payload of that length — lets a
+    writer emit the header and splice the payload from the reply cache
+    without concatenating them. Raises [Invalid_argument] outside
+    [1 .. max_payload_bytes]. *)
+
+type decoder
+
+val create : unit -> decoder
+
+val feed : decoder -> bytes -> int -> unit
+(** [feed d chunk len] consumes [chunk[0..len-1]]. Complete frames
+    queue up for {!next}; a header violation latches the decoder into
+    its error state (subsequent feeds are ignored). *)
+
+val next : decoder -> (string option, error) result
+(** Pop the next complete payload. [Ok None] means more bytes are
+    needed. Queued frames decoded before a trailing corruption are
+    still delivered first; then the latched error. *)
+
+val buffered : decoder -> int
+(** Bytes held for an incomplete frame — the backpressure bound a
+    reader can check. *)
+
+val reset : decoder -> unit
+(** Drop buffered bytes, queued frames and any latched error. *)

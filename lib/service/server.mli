@@ -1,44 +1,64 @@
-(** The long-running reliability-query server.
+(** The long-running reliability-query server: a single-threaded
+    [select] reactor in front of domain worker lanes.
 
     Architecture (one box per module):
 
     {v
-      accept loop ── reader thread per connection ── bounded queue ──
-        worker lanes (Parallel.Pool domains) ── Router ── Cache ── reply
+      reactor thread (select loop, owns every socket)
+        ├─ accepts, reads, framing detection (wire/3 frames | lines)
+        ├─ inline answers: errors, ping, stats, cache hits
+        └─ cache misses ── bounded queue ── worker lanes
+                                (Parallel.Pool domains) ── Router
+                                    └─ completions ── wakeup pipe ──▶ reactor
     v}
 
-    - {b Transport}: Unix-domain and/or TCP (loopback) listeners; one
-      reader thread per connection parses newline-delimited requests.
-    - {b Backpressure}: a bounded request queue. When it is full the
-      reader replies [overloaded] {e immediately} — load is shed with a
-      structured error, never by hanging the client. Requests that wait
-      in the queue longer than the configured deadline are answered
+    - {b Reactor}: one thread owns all sockets. Listeners and
+      connections are non-blocking; a [select] loop accepts, reads,
+      and writes. Each connection is a small state machine: framing is
+      detected from its first byte ({!Frame.magic} ⇒ wire/3 binary
+      frames, anything else ⇒ newline-delimited wire/1–2), then bodies
+      stream through the incremental decoder. There are {e no reader
+      threads} — a thousand idle connections cost a thousand fds, not
+      a thousand stacks.
+    - {b Inline fast path}: parse errors, [ping], [stats] and reply
+      cache hits are answered directly on the reactor thread. Only
+      cache misses — actual analyses — are dispatched to the worker
+      lanes, so the clean cached path never crosses a thread boundary.
+      Replies are written from preassembled cached bytes (see
+      {!Cache.rendered}) and small replies are coalesced so one
+      syscall can carry many pipelined responses.
+    - {b Pipelining}: a connection may keep up to [max_pipeline]
+      requests outstanding; workers complete out of order and clients
+      match replies by id. Past the cap — or past a bounded
+      reply-backlog high-watermark — the reactor simply stops
+      selecting that connection for reads until it drains:
+      backpressure by not reading, counted as a write stall.
+    - {b Backpressure}: the bounded request queue is unchanged. When
+      it is full the reactor replies [overloaded] immediately; queued
+      requests that outlive the deadline are answered
       [deadline_exceeded] without being computed.
-    - {b Self-protection}: a connection that stays silent longer than
-      [idle_timeout_seconds] is closed and its reader thread released —
-      an abandoned or black-holed socket cannot pin server resources.
+    - {b Self-protection}: a connection silent longer than
+      [idle_timeout_seconds] (with nothing in flight) is closed.
       Accepts beyond [max_connections] are answered with a single
-      [overloaded] error line and closed. [ping] requests are answered
-      by the reader thread without entering the queue, so health checks
-      stay honest under overload and during drains. SIGPIPE is ignored
-      process-wide, and reader handles of finished connections are
-      pruned on the accept path so long fault-injection soaks do not
-      accumulate dead threads.
+      [overloaded] error and closed. SIGPIPE is ignored process-wide.
     - {b Workers}: [workers] lanes hosted on one {!Parallel.Pool.map}
-      call, so each lane is a real domain (analyses run in parallel
-      across requests) while nested analysis parallelism degrades to
-      sequential per lane — deterministic engine strings, no domain
-      oversubscription.
+      call, so each lane is a real domain while nested analysis
+      parallelism degrades to sequential per lane. Lanes never touch
+      sockets: they compute, render, and push completed reply bytes to
+      the reactor through a mutex-protected queue plus a wakeup pipe.
     - {b Cache}: replies for cacheable queries are memoized by
       canonical key ({!Cache}); identical requests get byte-identical
-      responses whether computed or replayed.
-    - {b Shutdown}: {!stop} (or SIGINT/SIGTERM under {!run}) stops
-      accepting, drains queued work, answers late arrivals with
-      [shutting_down], then closes connections — a graceful drain.
+      responses whether computed or replayed, under either framing.
+    - {b Shutdown}: {!stop} (or SIGINT/SIGTERM under {!run}) closes
+      listeners, drains queued work through the lanes, answers fresh
+      requests [shutting_down], then flushes every connection's
+      pending replies (bounded) and closes them — a graceful drain.
 
-    Everything is instrumented under the ["service"] metrics family:
-    request/response/rejection counters, queue-depth gauge, queue-wait
-    and handler-latency histograms, cache hits/misses. *)
+    Everything is instrumented under the ["service"] metrics family,
+    including the reactor itself: loop iterations, a ready-fd
+    histogram per wakeup, per-dispatch pipeline-depth histogram, and a
+    write-backpressure stall counter — all surfaced in [stats] and
+    (summarized) in [ping] replies. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listener path. *)
@@ -48,32 +68,45 @@ type config = {
   cache_capacity : int;  (** LRU entries; [0] disables caching. *)
   deadline_seconds : float;  (** Per-request queue deadline. *)
   idle_timeout_seconds : float;
-      (** Close a connection after this long with no readable bytes;
-          [<= 0] disables the timeout. *)
+      (** Close a connection after this long with no readable bytes
+          (and nothing in flight); [<= 0] disables the timeout. *)
   max_connections : int;
       (** Live-connection cap; clamped to [1 ..]. Accepts beyond it are
           answered [overloaded] and closed. *)
+  max_pipeline : int;
+      (** Outstanding-request cap per connection; clamped to [1 ..].
+          At the cap the reactor stops reading the connection until
+          replies drain — backpressure, not an error. *)
+  max_wire : int;
+      (** Highest wire version whose {e framing} is accepted (clamped
+          to [{!Wire.min_protocol_version}..{!Wire.protocol_version}]).
+          Below 3, a connection opening with the binary frame magic is
+          answered [unsupported_version] and closed — the [--wire 2]
+          escape hatch. Body-level version negotiation (the ["v"]
+          field) is independent and always spans 1..3. *)
 }
 
 val default_config : config
 (** No listeners configured (callers must set at least one);
     [workers = Parallel.Pool.default ()], queue depth 64, cache 1024
-    entries, 5 s deadline, 300 s idle timeout, 1024 connections. *)
+    entries, 5 s deadline, 300 s idle timeout, 1024 connections,
+    pipeline depth 128. *)
 
 type t
 
 val start : config -> t
-(** Bind listeners, spawn the accept loop and worker lanes, and return
-    immediately. Raises [Invalid_argument] when no listener is
+(** Bind listeners, spawn the reactor thread and worker lanes, and
+    return immediately. Raises [Invalid_argument] when no listener is
     configured; [Unix.Unix_error] when binding fails. *)
 
 val stop : t -> unit
-(** Graceful drain as described above. Idempotent; blocks until every
-    thread and worker domain has joined. *)
+(** Graceful drain as described above. Idempotent; blocks until the
+    reactor thread and every worker domain has joined. *)
 
 val connection_count : t -> int
-(** Live connections (each owns one reader thread). The chaos soak's
-    leak check: after clients disconnect this must return to zero. *)
+(** Live connections in the reactor's connection table. The chaos
+    soak's leak check: after clients disconnect this must return to
+    zero. *)
 
 val run : config -> unit
 (** [start], then block until SIGINT or SIGTERM, then [stop]. Installs

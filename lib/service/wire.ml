@@ -28,7 +28,7 @@ type error_code =
   | Timeout
   | Connection_lost
 
-let protocol_version = 2
+let protocol_version = 3
 let min_protocol_version = 1
 let protocol_name = Printf.sprintf "probcons-wire/%d" protocol_version
 let max_line_bytes = 1 lsl 20
@@ -143,11 +143,14 @@ let canonical_key query =
 
 let cacheable = function Stats | Ping -> false | _ -> true
 
-let encode_request { id; query } =
+(* [v] lets a test or an old-style client encode at a downlevel
+   version; params are version-independent (the v1 shorthand is a
+   subset of the scenario encoding), so only the stamp changes. *)
+let encode_request ?(v = protocol_version) { id; query } =
   Obs.Json.to_string
     (Obs.Json.Obj
        [
-         ("v", Obs.Json.Int protocol_version);
+         ("v", Obs.Json.Int v);
          ("id", Obs.Json.Int id);
          ("kind", Obs.Json.String (kind_string query));
          ("params", Obs.Json.Obj (query_params query));
@@ -378,11 +381,19 @@ let parse_request line =
 
 (* --- Responses --------------------------------------------------------- *)
 
-(* The envelope prefix is assembled textually so a cached payload can
-   be spliced without re-rendering — identical requests get identical
-   bytes, cached or not. *)
-let encode_ok ~id ~payload =
-  Printf.sprintf "{\"v\": %d, \"id\": %d, \"ok\": %s}" protocol_version id payload
+(* The envelope is assembled textually so a cached payload can be
+   spliced without re-rendering — identical requests get identical
+   bytes, cached or not. The prefix/suffix split is what lets the
+   reactor's writer emit [prefix][payload][suffix] as three slices
+   (the payload straight from the LRU's rendered bytes, never
+   concatenated per request); [encode_ok] is the one-string form. The
+   body bytes are identical under both framings: a wire/3 frame's
+   payload is exactly a wire/2 response line minus its newline. *)
+let ok_prefix ~id =
+  Printf.sprintf "{\"v\": %d, \"id\": %d, \"ok\": " protocol_version id
+
+let ok_suffix = "}"
+let encode_ok ~id ~payload = ok_prefix ~id ^ payload ^ ok_suffix
 
 (* An unattributable error (no parseable request id) must carry
    [id: null], never a default integer: a numeric placeholder could

@@ -1,14 +1,14 @@
-(** The reliability-query wire protocol: versioned, newline-delimited
-    JSON over a byte stream (Unix-domain or TCP socket).
+(** The reliability-query wire protocol: versioned JSON bodies over a
+    byte stream (Unix-domain or TCP socket), under one of two framings.
 
-    One request per line, one response per line, in order. A request is
+    A request body is
 
-    {v {"v": 2, "id": 7, "kind": "analyze", "params": {...}} v}
+    {v {"v": 3, "id": 7, "kind": "analyze", "params": {...}} v}
 
-    and a response is either
+    and a response body is either
 
-    {v {"v": 2, "id": 7, "ok": <payload>} v}
-    {v {"v": 2, "id": 7, "error": {"code": "overloaded", "msg": "..."}} v}
+    {v {"v": 3, "id": 7, "ok": <payload>} v}
+    {v {"v": 3, "id": 7, "error": {"code": "overloaded", "msg": "..."}} v}
 
     [id] is an opaque client-chosen integer echoed back verbatim
     (default 0 when omitted). [v] must be between
@@ -18,19 +18,32 @@
     the toolkit's determinism guarantee extends across the wire —
     which is what makes the reply cache a pure win.
 
-    Version 2 makes [analyze] params a full {!Probcons.Scenario}
+    {b Framings.} wire/1 and wire/2 put one body per newline-terminated
+    line. wire/3 wraps the {e same} body bytes in the length-prefixed
+    binary framing of {!Frame} (magic, version byte, u32 length), which
+    removes newline scanning from the hot path and makes pipelining
+    explicit: a connection may keep many frames outstanding and the
+    server answers out of order, matching replies by [id]. The server
+    detects the framing per connection from the first byte it reads
+    (the frame magic can never open a JSON body), so a wire/2 client
+    connecting to a wire/3-default server negotiates down
+    transparently, and a wire/3 frame's payload is byte-identical to
+    the wire/2 response line minus its trailing newline.
+
+    Version 2 made [analyze] params a full {!Probcons.Scenario}
     (protocol name dispatched through {!Probcons.Registry}, optional
     [byz_fraction], [quorums], [stakes], [at], [seed]), so the server
-    answers every registered model. The compatibility rule: a wire/1
-    request is accepted and internally {e upgraded} — its params are a
-    subset of the scenario encoding, so it parses to the same query,
-    hits the same cache entry, and returns a payload byte-identical to
-    its wire/2 equivalent. Responses always carry the server's own
-    version.
+    answers every registered model. The compatibility rule: a downlevel
+    request is accepted and internally {e upgraded} — v1 analyze params
+    are a subset of the scenario encoding, so every version parses to
+    the same query, hits the same cache entry, and returns a payload
+    byte-identical to its wire/3 equivalent. Responses always carry the
+    server's own version.
 
     Parsing is total: any byte string maps to a request or to a
     structured {!error_code}; the JSON layer bounds nesting depth, and
-    {!max_line_bytes} bounds the line length the server will read. *)
+    {!max_line_bytes} bounds the body length the server will read
+    (under either framing). *)
 
 type system =
   | Majority of int
@@ -84,16 +97,17 @@ type error_code =
           server. *)
 
 val protocol_version : int
-(** 2 — the version the server speaks and stamps on responses. *)
+(** 3 — the version the server speaks and stamps on responses. *)
 
 val min_protocol_version : int
 (** 1 — oldest request version still accepted (and upgraded). *)
 
 val protocol_name : string
-(** ["probcons-wire/2"] — the negotiable protocol identifier. *)
+(** ["probcons-wire/3"] — the negotiable protocol identifier. *)
 
 val max_line_bytes : int
-(** Longest request line a server reads before rejecting (1 MiB). *)
+(** Longest request body a server reads before rejecting (1 MiB),
+    under either framing. *)
 
 val max_fleet_nodes : int
 (** Largest fleet any query may describe — re-exported from
@@ -104,8 +118,10 @@ val code_of_string : string -> error_code option
 
 type request = { id : int; query : query }
 
-val encode_request : request -> string
-(** Canonical single-line encoding (no trailing newline). *)
+val encode_request : ?v:int -> request -> string
+(** Canonical body encoding (no trailing newline, no frame header).
+    [v] (default {!protocol_version}) stamps a downlevel version for
+    compatibility testing; params are version-independent. *)
 
 val parse_request :
   string -> (request, int option * error_code * string) result
@@ -121,9 +137,20 @@ val canonical_key : query -> string
 val cacheable : query -> bool
 (** All compute queries are; [Stats] and [Ping] are not. *)
 
+val ok_prefix : id:int -> string
+(** The response envelope up to (excluding) the payload bytes:
+    [{"v": 3, "id": N, "ok": ]. With {!ok_suffix} this lets a writer
+    emit a success reply as three slices — prefix, the payload
+    straight from the reply cache's rendered bytes, suffix — with no
+    per-request concatenation. *)
+
+val ok_suffix : string
+(** ["}"] — closes the envelope {!ok_prefix} opened. *)
+
 val encode_ok : id:int -> payload:string -> string
-(** [payload] must be rendered JSON (it is spliced verbatim, which is
-    what keeps cached responses byte-identical). *)
+(** [ok_prefix ^ payload ^ ok_suffix] as one string. [payload] must be
+    rendered JSON (it is spliced verbatim, which is what keeps cached
+    responses byte-identical). *)
 
 val encode_error : id:int option -> error_code -> string -> string
 (** [id = None] (the request id could not be parsed) encodes as

@@ -404,7 +404,12 @@ let test_max_connections () =
                 (Server.connection_count server);
               (* The second accept is answered [overloaded] and closed —
                  a structured rejection, not a hang or a silent drop. *)
-              let c2 = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+              (* A rejected connection never reveals its framing (no
+                 byte was sent), so the server's goodbye is a legacy
+                 line — read it with a wire/2 client. *)
+              let c2 =
+                Client.connect ~wire:2 ~retry_for:5. (Client.Unix_path socket)
+              in
               Fun.protect
                 ~finally:(fun () -> Client.close c2)
                 (fun () ->

@@ -90,7 +90,7 @@ let test_bad_command_fails () =
   Alcotest.(check bool) "nonzero exit" true (status <> 0)
 
 let test_version () =
-  check_contains "version" [ "probcons 1.1.0"; "probcons-wire/2" ];
+  check_contains "version" [ "probcons 1.1.0"; "probcons-wire/3" ];
   (* Every subcommand answers --version with the package version. *)
   List.iter
     (fun sub -> check_contains (sub ^ " --version") [ "1.1.0" ])
@@ -127,7 +127,7 @@ let test_scenario_file () =
     (contains output "cli_scenario.json")
 
 let test_cross_layer_identity () =
-  (* The tentpole's payoff: `analyze --json`, a wire/2 reply and a
+  (* The cross-layer contract: `analyze --json`, a wire/2 reply and a
      legacy wire/1 reply carry byte-identical payloads, because all
      three are Registry.analyze_json over the same scenario. *)
   let status, cli =
@@ -171,10 +171,11 @@ let test_cross_layer_identity () =
           let v1 =
             call {|{"v": 1, "id": 7, "kind": "analyze", "params": {"n": 5, "p": 0.01}}|}
           in
-          (* Same id, same scenario: the full response lines agree even
-             across request versions (responses always carry v2). *)
+          (* Same id, same scenario: the full response bodies agree even
+             across request versions (responses always carry the
+             server's own version). *)
           Alcotest.(check string) "wire/1 reply = wire/2 reply" v2 v1;
-          let prefix = {|{"v": 2, "id": 7, "ok": |} in
+          let prefix = {|{"v": 3, "id": 7, "ok": |} in
           let plen = String.length prefix in
           Alcotest.(check string) "ok envelope" prefix
             (String.sub v2 0 plen);

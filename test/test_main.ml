@@ -18,6 +18,7 @@ let () =
       ("properties", Test_properties.suite);
       ("rabia", Test_rabia.suite);
       ("obs", Test_obs.suite);
+      ("frame", Test_frame.suite);
       ("service", Test_service.suite);
       ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);

@@ -9,6 +9,10 @@ let fresh_cache ~capacity =
   (* A private registry keeps cache metrics out of the global one. *)
   Cache.create ~registry:(Obs.Metrics.create ()) ~capacity ()
 
+(* [Cache.find] returns a rendering-capable entry; most assertions
+   only care about the payload string. *)
+let find_payload c key = Option.map Cache.payload (Cache.find c key)
+
 (* Threaded tests must not be able to hang the whole suite: run the
    body on its own thread and fail loudly if it overruns. *)
 let with_watchdog ?(timeout = 60.) f =
@@ -208,8 +212,19 @@ let test_wire_version_upgrade () =
     (Wire.canonical_key v2.Wire.query);
   (* Round-tripping a v1 request re-encodes it at the server version. *)
   let line = Wire.encode_request v1 in
-  Alcotest.(check string) "re-encoded at v2" "{\"v\": 2,"
+  Alcotest.(check string) "re-encoded at v3" "{\"v\": 3,"
     (String.sub line 0 8);
+  (* The compatibility stamp: [?v] encodes a downlevel request that
+     still parses to the same query. *)
+  let down = Wire.encode_request ~v:2 v1 in
+  Alcotest.(check string) "downlevel stamp" "{\"v\": 2," (String.sub down 0 8);
+  (match Wire.parse_request down with
+  | Ok { Wire.query; _ } ->
+      Alcotest.(check bool) "downlevel parses to same query" true
+        (query = v1.Wire.query)
+  | Error (_, c, msg) ->
+      Alcotest.failf "downlevel encode failed to parse: %s (%s)"
+        (Wire.code_string c) msg);
   (* Non-analyze kinds are also accepted under both versions. *)
   let m1 =
     parse_ok
@@ -243,11 +258,11 @@ let test_cache_eviction_order () =
   Cache.add c "a" "1";
   Cache.add c "b" "2";
   (* Touch [a] so [b] is now least recently used. *)
-  Alcotest.(check (option string)) "a hits" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "a hits" (Some "1") (find_payload c "a");
   Cache.add c "c" "3";
-  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
-  Alcotest.(check (option string)) "a survives" (Some "1") (Cache.find c "a");
-  Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
+  Alcotest.(check (option string)) "b evicted" None (find_payload c "b");
+  Alcotest.(check (option string)) "a survives" (Some "1") (find_payload c "a");
+  Alcotest.(check (option string)) "c present" (Some "3") (find_payload c "c");
   let _, _, evictions = Cache.stats c in
   Alcotest.(check int) "one eviction" 1 evictions
 
@@ -262,15 +277,15 @@ let test_cache_capacity () =
   (* The three most recent insertions survive. *)
   List.iter
     (fun k ->
-      Alcotest.(check (option string)) ("key " ^ k) (Some k) (Cache.find c k))
+      Alcotest.(check (option string)) ("key " ^ k) (Some k) (find_payload c k))
     [ "8"; "9"; "10" ]
 
 let test_cache_hit_stats () =
   let c = fresh_cache ~capacity:4 in
-  Alcotest.(check (option string)) "cold miss" None (Cache.find c "k");
+  Alcotest.(check (option string)) "cold miss" None (find_payload c "k");
   Cache.add c "k" "v";
-  Alcotest.(check (option string)) "hit" (Some "v") (Cache.find c "k");
-  Alcotest.(check (option string)) "hit again" (Some "v") (Cache.find c "k");
+  Alcotest.(check (option string)) "hit" (Some "v") (find_payload c "k");
+  Alcotest.(check (option string)) "hit again" (Some "v") (find_payload c "k");
   let hits, misses, evictions = Cache.stats c in
   Alcotest.(check int) "hits" 2 hits;
   Alcotest.(check int) "misses" 1 misses;
@@ -279,11 +294,34 @@ let test_cache_hit_stats () =
 let test_cache_disabled () =
   let c = fresh_cache ~capacity:0 in
   Cache.add c "k" "v";
-  Alcotest.(check (option string)) "never stores" None (Cache.find c "k");
+  Alcotest.(check (option string)) "never stores" None (find_payload c "k");
   Alcotest.(check int) "empty" 0 (Cache.length c);
   let hits, misses, _ = Cache.stats c in
   Alcotest.(check int) "no hits" 0 hits;
   Alcotest.(check int) "misses counted" 1 misses
+
+let test_cache_rendered_memo () =
+  let c = fresh_cache ~capacity:2 in
+  Cache.add c "k" "payload";
+  let e = Option.get (Cache.find c "k") in
+  let calls = ref 0 in
+  let render () =
+    incr calls;
+    "reply"
+  in
+  Alcotest.(check string) "renders once" "reply"
+    (Cache.rendered e ~binary:false ~id:1 ~render);
+  Alcotest.(check string) "memo hit" "reply"
+    (Cache.rendered e ~binary:false ~id:1 ~render);
+  Alcotest.(check int) "one render" 1 !calls;
+  (* Each framing memoizes independently... *)
+  ignore (Cache.rendered e ~binary:true ~id:1 ~render);
+  Alcotest.(check int) "binary renders separately" 2 !calls;
+  ignore (Cache.rendered e ~binary:false ~id:1 ~render);
+  Alcotest.(check int) "line memo survives binary render" 2 !calls;
+  (* ...and an id change re-renders, replacing the memo. *)
+  ignore (Cache.rendered e ~binary:false ~id:2 ~render);
+  Alcotest.(check int) "id change re-renders" 3 !calls
 
 let test_cache_readd () =
   let c = fresh_cache ~capacity:2 in
@@ -292,11 +330,11 @@ let test_cache_readd () =
   (* Re-adding keeps the first value but refreshes recency... *)
   Cache.add c "k" "second";
   Alcotest.(check (option string)) "first value wins" (Some "first")
-    (Cache.find c "k");
+    (find_payload c "k");
   (* ...so the next eviction takes [other], not [k]. *)
   Cache.add c "third" "t";
-  Alcotest.(check (option string)) "other evicted" None (Cache.find c "other");
-  Alcotest.(check (option string)) "k survives" (Some "first") (Cache.find c "k")
+  Alcotest.(check (option string)) "other evicted" None (find_payload c "other");
+  Alcotest.(check (option string)) "k survives" (Some "first") (find_payload c "k")
 
 (* --- Router ----------------------------------------------------------- *)
 
@@ -537,6 +575,123 @@ let test_e2e_overload () =
               Alcotest.(check bool) "load was shed" true (!overloaded >= 1);
               Alcotest.(check bool) "some work completed" true (!ok >= 1))))
 
+(* Cross-framing identity: the same query over wire/1 lines, wire/2
+   lines and wire/3 frames returns byte-identical response bodies (the
+   server always stamps its own version) — and a wire/2 client against
+   the wire/3-default server negotiates down transparently, since the
+   server detects framing from the first byte. *)
+let test_e2e_cross_framing () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      let server = Server.start (base_config socket) in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let q = analyze ~protocol:"raft" [ (5, 0.013) ] in
+          let fetch wire =
+            let c =
+              Client.connect ~wire ~retry_for:5. (Client.Unix_path socket)
+            in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                match
+                  Client.call_line c ~id:9
+                    (Wire.encode_request ~v:wire { Wire.id = 9; query = q })
+                with
+                | Ok reply -> reply
+                | Error (code, msg) ->
+                    Alcotest.failf "wire/%d call failed: %s (%s)" wire
+                      (Wire.code_string code) msg)
+          in
+          let r1 = fetch 1 and r2 = fetch 2 and r3 = fetch 3 in
+          Alcotest.(check string) "wire/1 body == wire/2 body" r2 r1;
+          Alcotest.(check string) "wire/2 body == wire/3 body" r3 r2;
+          Alcotest.(check string) "server stamps v3" "{\"v\": 3,"
+            (String.sub r3 0 8)))
+
+(* Pipelining: many frames outstanding on one connection; every id is
+   answered exactly once (completions may arrive out of order). *)
+let test_e2e_pipelining () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      let server =
+        Server.start
+          {
+            (base_config socket) with
+            Server.queue_depth = 256;
+            max_pipeline = 256;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let c = Client.connect ~retry_for:5. (Client.Unix_path socket) in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let n = 64 in
+              let bodies =
+                Array.init n (fun i ->
+                    Wire.encode_request
+                      {
+                        Wire.id = i;
+                        query =
+                          analyze ~protocol:"raft"
+                            [ (3 + (2 * (i mod 4)), 0.01) ];
+                      })
+              in
+              Array.iter (Client.send_line c) bodies;
+              let seen = Array.make n 0 in
+              for _ = 1 to n do
+                match Client.recv_line c with
+                | None -> Alcotest.fail "connection died mid-pipeline"
+                | Some reply -> (
+                    match Wire.parse_response reply with
+                    | Ok { Wire.rid = Some rid; body = Ok _ } when rid < n ->
+                        seen.(rid) <- seen.(rid) + 1
+                    | _ -> Alcotest.failf "bad pipelined reply: %s" reply)
+              done;
+              Array.iteri
+                (fun i k ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "id %d answered exactly once" i)
+                    1 k)
+                seen)))
+
+(* --wire 2 gate: binary framing refused with a typed goodbye while
+   line clients are untouched. *)
+let test_e2e_wire_gate () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      let server =
+        Server.start { (base_config socket) with Server.max_wire = 2 }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let c2 =
+            Client.connect ~wire:2 ~retry_for:5. (Client.Unix_path socket)
+          in
+          (match Client.call c2 ~id:0 Wire.Ping with
+          | Ok _ -> ()
+          | Error (c, m) ->
+              Alcotest.failf "wire/2 ping failed: %s (%s)" (Wire.code_string c)
+                m);
+          Client.close c2;
+          let c3 =
+            Client.connect ~wire:3 ~retry_for:5. (Client.Unix_path socket)
+          in
+          Fun.protect
+            ~finally:(fun () -> Client.close c3)
+            (fun () ->
+              match Client.call ~max_attempts:1 c3 ~id:0 Wire.Ping with
+              | Error ((Wire.Connection_lost | Wire.Timeout), _) -> ()
+              | Ok _ -> Alcotest.fail "binary framing should have been refused"
+              | Error (c, m) ->
+                  Alcotest.failf "unexpected error: %s (%s)"
+                    (Wire.code_string c) m)))
+
 let test_e2e_deadline () =
   with_watchdog (fun () ->
       let socket = temp_socket () in
@@ -582,6 +737,7 @@ let suite =
     Alcotest.test_case "cache hit stats" `Quick test_cache_hit_stats;
     Alcotest.test_case "cache disabled" `Quick test_cache_disabled;
     Alcotest.test_case "cache re-add" `Quick test_cache_readd;
+    Alcotest.test_case "cache rendered memo" `Quick test_cache_rendered_memo;
     Alcotest.test_case "router matches direct run" `Quick test_router_matches_direct;
     Alcotest.test_case "router deterministic" `Quick test_router_deterministic;
     Alcotest.test_case "router rejects stats" `Quick test_router_stats_rejected;
@@ -591,5 +747,9 @@ let suite =
       test_router_markov_default_quorum;
     Alcotest.test_case "e2e server" `Quick test_e2e_server;
     Alcotest.test_case "e2e overload" `Quick test_e2e_overload;
+    Alcotest.test_case "e2e cross-framing identity" `Quick
+      test_e2e_cross_framing;
+    Alcotest.test_case "e2e pipelining" `Quick test_e2e_pipelining;
+    Alcotest.test_case "e2e wire gate" `Quick test_e2e_wire_gate;
     Alcotest.test_case "e2e deadline" `Quick test_e2e_deadline;
   ]
