@@ -1004,6 +1004,180 @@ let chaos_cmd =
          const run $ seed_arg $ plan_arg $ clients_arg $ requests_arg
          $ distinct_arg $ call_deadline_arg $ client_wire_arg $ json_arg))
 
+(* --- dst ----------------------------------------------------------------- *)
+
+(* Discrete fault count of a shrunk artifact, for the --max-shrunk-faults
+   acceptance bound: a simulator plan lists its faults, a chaos plan is
+   counted by active probability channels (the same accounting the
+   service system's shrink measure uses). *)
+let repro_fault_count (repro : Dst.Repro.t) =
+  let plan = repro.Dst.Repro.parts.Dst.Repro.plan in
+  match Option.bind (Obs.Json.member "faults" plan) Obs.Json.to_list with
+  | Some faults -> List.length faults
+  | None ->
+      List.length
+        (List.filter
+           (fun key ->
+             match Option.bind (Obs.Json.member key plan) Obs.Json.to_float with
+             | Some p -> p > 0.
+             | None -> false)
+           [ "delay_p"; "partial_write_p"; "truncate_p"; "garbage_p";
+             "reset_p"; "blackhole_p" ])
+
+let repro_op_count (repro : Dst.Repro.t) =
+  match Obs.Json.to_list repro.Dst.Repro.parts.Dst.Repro.ops with
+  | Some ops -> List.length ops
+  | None -> 0
+
+let dst_cmd =
+  let system_arg =
+    Arg.(
+      value & opt string "sim"
+      & info [ "system" ] ~docv:"SYSTEM"
+          ~doc:
+            "System under test: 'sim' (every simulator protocol), \
+             'sim-raft', 'sim-pbft', 'sim-benor', 'sim-rabia', or 'service' \
+             (the live reactor behind the chaos proxy).")
+  in
+  let episodes_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "episodes" ] ~docv:"E"
+          ~doc:"Seeded episodes to run per system before declaring a pass.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Emit the first failing case as found, without minimizing it.")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"FILE"
+          ~doc:
+            "Write the (shrunk) failing case as a probcons-repro/1 artifact \
+             to $(docv); replay it with tools/replay.exe.")
+  in
+  let seeded_bug_arg =
+    Arg.(
+      value & flag
+      & info [ "seeded-bug" ]
+          ~doc:
+            "Re-introduce the PR-5 'id: 0' error-attribution bug \
+             (service system only) so the harness has a real violation \
+             to find — the self-test of the whole find/shrink/replay \
+             pipeline.")
+  in
+  let expect_fail_arg =
+    Arg.(
+      value & flag
+      & info [ "expect-fail" ]
+          ~doc:
+            "Invert the exit status: succeed only if a violation is found \
+             (and within the --max-shrunk-* bounds). CI uses this to prove \
+             the harness actually detects seeded bugs.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shrunk-faults" ] ~docv:"K"
+          ~doc:
+            "With --expect-fail: fail unless the shrunk case has at most \
+             $(docv) faults.")
+  in
+  let max_ops_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shrunk-ops" ] ~docv:"K"
+          ~doc:
+            "With --expect-fail: fail unless the shrunk case has at most \
+             $(docv) operations.")
+  in
+  let run system seed episodes no_shrink repro_path wire seeded_bug expect_fail
+      max_faults max_ops () =
+    let names =
+      match Dst.Registry.expand system with
+      | Ok names -> names
+      | Error msg -> die "%s" msg
+    in
+    let t0 = Unix.gettimeofday () in
+    let log msg = Format.printf "dst: %s@." msg in
+    let rec go = function
+      | [] -> None
+      | name :: rest -> (
+          let (Dst.Registry.Packed sys) =
+            match Dst.Registry.find ~wire ~seeded_bug name with
+            | Ok packed -> packed
+            | Error msg -> die "%s" msg
+          in
+          Format.printf "dst: %s: %d episodes from seed %d@." name episodes
+            seed;
+          match
+            Dst.Harness.soak ~shrink:(not no_shrink) ~log sys ~seed ~episodes
+          with
+          | Dst.Harness.All_passed { episodes } ->
+              Format.printf "dst: %s: all %d episodes passed@." name episodes;
+              go rest
+          | Dst.Harness.Found { failure; shrunk } ->
+              let elapsed = Unix.gettimeofday () -. t0 in
+              Some (Dst.Harness.to_repro sys ~seed ~elapsed_seconds:elapsed
+                      failure shrunk))
+    in
+    match go names with
+    | None ->
+        if expect_fail then begin
+          prerr_endline
+            "probcons dst: FAIL: expected a violation, but every episode \
+             passed";
+          exit 1
+        end;
+        Format.printf "dst: no invariant violated@."
+    | Some repro ->
+        let faults = repro_fault_count repro and ops = repro_op_count repro in
+        Format.printf
+          "dst: %s violated invariant '%s' (episode %d); shrunk %d -> %d \
+           units (%d faults, %d ops) in %d attempts@."
+          repro.Dst.Repro.system repro.Dst.Repro.invariant
+          repro.Dst.Repro.episode repro.Dst.Repro.original_units
+          repro.Dst.Repro.shrunk_units faults ops
+          repro.Dst.Repro.shrink_attempts;
+        Format.printf "dst: %s@." repro.Dst.Repro.detail;
+        (match repro_path with
+        | None -> ()
+        | Some path ->
+            Dst.Repro.write ~path repro;
+            Format.printf "dst: repro artifact written to %s@." path);
+        if not expect_fail then exit 1;
+        let over_bound label count = function
+          | Some bound when count > bound ->
+              Printf.eprintf
+                "probcons dst: FAIL: shrunk case has %d %s, bound is %d\n"
+                count label bound;
+              true
+          | _ -> false
+        in
+        let bad_faults = over_bound "faults" faults max_faults in
+        let bad_ops = over_bound "ops" ops max_ops in
+        if bad_faults || bad_ops then exit 1;
+        Format.printf "dst: violation found and shrunk as expected@."
+  in
+  Cmd.v
+    (cmd_info "dst"
+       ~doc:
+         "Deterministic-simulation soak: generate seeded episodes against a \
+          simulator cluster or the live service stack, check invariants, \
+          shrink the first failure to a minimal case, and emit a replayable \
+          probcons-repro/1 artifact.")
+    (with_metrics
+       Term.(
+         const run $ system_arg $ seed_arg $ episodes_arg $ no_shrink_arg
+         $ repro_arg $ client_wire_arg $ seeded_bug_arg $ expect_fail_arg
+         $ max_faults_arg $ max_ops_arg))
+
 (* --- servebench --------------------------------------------------------- *)
 
 let servebench_cmd =
@@ -1136,7 +1310,7 @@ let main_cmd =
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
       bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
-      servebench_cmd; version_cmd;
+      dst_cmd; servebench_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,48 @@
+(** In-process simulator systems for the DST harness: the Raft, PBFT,
+    Ben-Or and Rabia clusters on {!Dessim.Engine}, driven by generated
+    fault plans ({!Dessim.Fault_injector}) and operation sequences,
+    checked against the protocol checkers' invariants.
+
+    A case is fully deterministic: the cluster seed, the fault plan
+    and the op trace reproduce the run bit-for-bit, so shrinking can
+    re-execute candidates cheaply and a committed artifact replays
+    byte-identically forever.
+
+    Faults are sampled {e within} each protocol's tolerance (at most
+    [(n-1)/2] crash faults for the CFT protocols, [(n-1)/3] total for
+    PBFT), so the invariants are the protocol's actual guarantees:
+    agreement/validity always, liveness whenever enough correct nodes
+    remain. A violation is a bug — in the protocol implementation, the
+    simulator, or the harness — never an expected threshold breach. *)
+
+type protocol = Raft | Pbft | Benor | Rabia
+
+type fault_kind = Crash | Crash_restart of float  (** back_at *) | Byzantine
+
+type fault = { node : int; kind : fault_kind; at : float }
+
+type t = {
+  protocol : protocol;
+  n : int;
+  cluster_seed : int;
+  drop_probability : float;  (** Per-message network drop rate. *)
+  faults : fault list;
+  ops : int list;
+      (** Raft/PBFT/Rabia: client commands (liveness expects each
+          committed everywhere correct). Ben-Or: the [n] initial
+          values (0/1), not shrinkable. *)
+  horizon : float;  (** Virtual-time bound for the run. *)
+}
+
+val protocol_name : protocol -> string
+(** ["raft" | "pbft" | "benor" | "rabia"]. *)
+
+val system_name : protocol -> string
+(** ["sim-" ^ protocol_name] — the artifact tag. *)
+
+val run : t -> Harness.outcome
+(** Build the cluster, inject, drive, check. Invariant names:
+    ["agreement"], ["election_safety"], ["log_matching"],
+    ["liveness"], ["validity"], ["termination"] (per protocol). *)
+
+val system : protocol -> t Harness.system

@@ -10,11 +10,12 @@ type config = {
   n : int;
   f : int;
   max_rounds_per_slot : int;
+  retry_interval : float;
 }
 
 let default_config ~id ~n =
   if n < 1 then invalid_arg "Rabia_node.default_config: n must be positive";
-  { id; n; f = (n - 1) / 2; max_rounds_per_slot = 200 }
+  { id; n; f = (n - 1) / 2; max_rounds_per_slot = 200; retry_interval = 750. }
 
 let null_command = -1
 
@@ -47,6 +48,7 @@ type t = {
   announced_partial : (int, unit) Hashtbl.t;
       (* slots whose command-less decision we broadcast, so a candidate
          holder can complete it *)
+  mutable max_seen_slot : int;  (* highest slot any message mentioned *)
   mutable down : bool;
 }
 
@@ -309,6 +311,62 @@ and check_votes t ~slot =
     end
   end
 
+(* --- Retransmission --------------------------------------------------- *)
+
+(* The phase machinery above is purely message-driven: a node acts only
+   when a message arrives. Under a lossy network that is not enough —
+   with exactly [n - f] participants alive, one dropped report or vote
+   stalls the slot forever, because nobody will ever send anything for
+   it again (found by the DST harness; the shrunk case lives in
+   test/repro/sim_rabia_stall.json). So each node re-sends its own
+   contributions for the slot it is stuck on at a fixed cadence.
+   Receivers deduplicate per (round, sender), so retransmission cannot
+   change what gets decided — it only makes the decision happen. *)
+
+let resend_current_slot t =
+  let slot = t.slot in
+  let s = slot_state t slot in
+  match Hashtbl.find_opt t.decisions slot with
+  | Some (1, None) ->
+      (* Decided, command still unknown: re-ask the candidate holders
+         (the announce-once guard in [note_decision] only covers the
+         first ask, which may have been dropped). *)
+      Dessim.Network.broadcast t.net ~src:t.config.id
+        (Decision { slot; value = 1; command = None; from = t.config.id })
+  | Some _ -> ()
+  | None ->
+      if s.proposal_sent then begin
+        (match s.proposals.(t.config.id) with
+        | Some command ->
+            Dessim.Network.broadcast t.net ~src:t.config.id
+              (Proposal { slot; command; from = t.config.id })
+        | None -> ());
+        for round = 1 to s.round do
+          (match Hashtbl.find_opt s.reports round with
+          | Some a -> (
+              match a.(t.config.id) with
+              | Some value ->
+                  Dessim.Network.broadcast t.net ~src:t.config.id
+                    (Report { slot; round; value; from = t.config.id })
+              | None -> ())
+          | None -> ());
+          match Hashtbl.find_opt s.votes round with
+          | Some a -> (
+              match a.(t.config.id) with
+              | Some value ->
+                  Dessim.Network.broadcast t.net ~src:t.config.id
+                    (Vote { slot; round; value; from = t.config.id })
+              | None -> ())
+          | None -> ()
+        done
+      end
+      else if next_proposal t <> null_command || t.max_seen_slot > t.slot then
+        (* Nothing sent yet but there is work — or evidence the cluster
+           is ahead of us (crash-restart laggard). A proposal for our
+           slot is always safe, and stale-slot traffic prompts peers to
+           re-send the decisions we missed. *)
+        send_proposal t slot
+
 (* --- API ------------------------------------------------------------- *)
 
 let submit t cmd =
@@ -323,18 +381,46 @@ let submit t cmd =
     try_start_slot t
   end
 
-let handle_message t ~src:_ msg =
+let handle_message t ~src msg =
   if not t.down then begin
+    let seen slot = if slot > t.max_seen_slot then t.max_seen_slot <- slot in
+    (* Traffic for a slot we have already finished means the sender
+       missed one or more decisions (drops, or a crash-restart): re-send
+       everything decided from that slot on, point-to-point, bypassing
+       the announce-once guard. *)
+    let answer_stale slot =
+      for s = slot to t.slot - 1 do
+        match Hashtbl.find_opt t.decisions s with
+        | Some (value, command) when value = 0 || command <> None ->
+            Dessim.Network.send t.net ~src:t.config.id ~dst:src
+              (Decision { slot = s; value; command; from = t.config.id })
+        | Some _ | None -> ()
+      done
+    in
     match msg with
     | Proposal { slot; command; from } ->
+        seen slot;
         if slot >= t.slot then note_proposal t ~slot ~command ~from
+        else answer_stale slot
     | Report { slot; round; value; from } ->
+        seen slot;
         if slot >= t.slot then note_report t ~slot ~round ~value ~from
+        else answer_stale slot
     | Vote { slot; round; value; from } ->
+        seen slot;
         if slot >= t.slot then note_vote t ~slot ~round ~value ~from
+        else answer_stale slot
     | Decision { slot; value; command; from = _ } ->
+        seen slot;
         if not (Hashtbl.mem t.announced slot) then
           note_decision t ~slot ~value ~command
+        else if value = 1 && command = None then
+          (* A peer is re-asking for the command behind a decision we
+             already announced: our complete announce must have been
+             dropped on the way to it — answer directly. (A [0, None]
+             decision is complete, not an ask: null slots carry no
+             command, so answering one would just echo forever.) *)
+          answer_stale slot
   end
 
 let set_down t down =
@@ -343,7 +429,11 @@ let set_down t down =
   if down then record t "crash" ""
   else begin
     record t "restart" "";
-    try_advance_slot t
+    try_advance_slot t;
+    (* Solicit: a proposal for our slot is always safe, and if the
+       cluster has moved on, peers answer stale-slot traffic with the
+       decisions we slept through. *)
+    if not (slot_state t t.slot).proposal_sent then send_proposal t t.slot
   end
 
 let create config ~engine ~net ~trace =
@@ -363,8 +453,21 @@ let create config ~engine ~net ~trace =
       decisions = Hashtbl.create 32;
       announced = Hashtbl.create 32;
       announced_partial = Hashtbl.create 8;
+      max_seen_slot = 0;
       down = false;
     }
   in
   Dessim.Network.set_handler net config.id (fun ~src msg -> handle_message t ~src msg);
+  if config.retry_interval > 0. then begin
+    (* Staggered by id so the resends of a symmetric, fully-stuck
+       cluster do not all land in the same engine timestamp. *)
+    let rec tick () =
+      if not t.down then resend_current_slot t;
+      ignore (Dessim.Engine.schedule engine ~delay:config.retry_interval tick)
+    in
+    ignore
+      (Dessim.Engine.schedule engine
+         ~delay:(config.retry_interval +. float_of_int config.id)
+         tick)
+  end;
   t

@@ -25,6 +25,13 @@ type config = {
   n : int;
   f : int;
   max_rounds_per_slot : int;  (** Safety valve (default 200). *)
+  retry_interval : float;
+      (** Cadence at which a node re-sends its contributions for the
+          slot it is stuck on (default 750.; [0.] disables). The slot
+          machinery is purely message-driven, so under message loss a
+          quorum-sized participant set stalls forever without
+          retransmission; re-sends are deduplicated by receivers and
+          cannot change what gets decided. *)
 }
 
 val default_config : id:int -> n:int -> config

@@ -400,12 +400,22 @@ let encode_ok ~id ~payload = ok_prefix ~id ^ payload ^ ok_suffix
    collide with a real in-flight request id, and a resilient client
    would then accept a parse_error reply as the answer to a healthy
    request. The chaos soak caught exactly that with placeholder 0. *)
+
+(* Test-only: re-introduce the pre-fix placeholder so the DST harness
+   has a real, historically observed invariant violation to find,
+   shrink, and replay. Never set outside tests and the [dst
+   --seeded-bug] harness. *)
+let seeded_bug_id0 = ref false
+
 let encode_error ~id code msg =
   Obs.Json.to_string
     (Obs.Json.Obj
        [
          ("v", Obs.Json.Int protocol_version);
-         ("id", match id with Some i -> Obs.Json.Int i | None -> Obs.Json.Null);
+         ( "id",
+           match id with
+           | Some i -> Obs.Json.Int i
+           | None -> if !seeded_bug_id0 then Obs.Json.Int 0 else Obs.Json.Null );
          ( "error",
            Obs.Json.Obj
              [

@@ -158,6 +158,14 @@ val encode_error : id:int option -> error_code -> string -> string
     a real in-flight id and let a corruption-triggered error reply
     answer a healthy request. *)
 
+val seeded_bug_id0 : bool ref
+(** {b Test-only.} When set, {!encode_error} regresses to the pre-fix
+    behaviour of stamping unattributable errors with [id: 0] instead of
+    [id: null] — the exact bug the PR-5 chaos soak caught. The
+    deterministic-simulation harness ({!Dst}, [probcons dst
+    --seeded-bug]) flips this to prove it can find, shrink, and replay
+    a real invariant violation; nothing else may touch it. *)
+
 type response = {
   rid : int option;  (** Echoed id; [None] on malformed responses. *)
   body : (Obs.Json.t, error_code * string) result;

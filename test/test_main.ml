@@ -22,4 +22,5 @@ let () =
       ("service", Test_service.suite);
       ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
+      ("dst", Test_dst.suite);
     ]

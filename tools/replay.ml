@@ -1,0 +1,41 @@
+(* Re-execute committed probcons-repro/1 artifacts.
+
+   Usage: dune exec tools/replay.exe -- FILE.json...
+
+   Each artifact is decoded with the same total parser the harness
+   emits through, dispatched on its recorded system tag, and re-run:
+   an [expect: fail] artifact must fail the same invariant it records
+   (the bug still reproduces), an [expect: pass] artifact must pass
+   (the fix still holds). Exit status: 0 when every artifact meets its
+   expectation, 1 when any replay mismatches, 2 on usage, IO or schema
+   errors — CI treats both non-zero codes as a corpus failure, but the
+   distinction tells you whether to fix the code or the artifact. *)
+
+let () =
+  (* A literal "--" separator reaches argv when the binary is invoked
+     directly (dune exec swallows the first one). *)
+  let paths =
+    List.filter (fun a -> a <> "--") (List.tl (Array.to_list Sys.argv))
+  in
+  if paths = [] then begin
+    prerr_endline "usage: replay FILE.json...";
+    exit 2
+  end;
+  let mismatches = ref 0 and errors = ref 0 in
+  List.iter
+    (fun path ->
+      match Dst.Repro.read ~path with
+      | Error msg ->
+          incr errors;
+          Printf.eprintf "ERROR: %s: %s\n%!" path msg
+      | Ok repro -> (
+          match Dst.Registry.replay repro with
+          | Ok msg -> Printf.printf "OK: %s: %s\n%!" path msg
+          | Error msg ->
+              incr mismatches;
+              Printf.eprintf "FAIL: %s: %s\n%!" path msg))
+    paths;
+  if !errors > 0 then exit 2;
+  if !mismatches > 0 then exit 1;
+  Printf.printf "replayed %d artifact(s), all met their expectations\n"
+    (List.length paths)

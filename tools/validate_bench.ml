@@ -14,6 +14,9 @@
    - probcons-service-bench/1  the servebench wire/2-vs-wire/3
      comparison: two loadgen/3 rows on one server, wire/3 strictly
      faster
+   - probcons-repro/1    the DST harness's minimal-reproduction
+     artifact: seeds, system tag, scenario, fault plan, op trace,
+     violated invariant, expectation, shrink statistics
 
    CI runs this against each before archiving; a non-zero exit fails
    the workflow rather than shipping a malformed artifact. *)
@@ -272,6 +275,31 @@ let validate_service_bench path doc =
   Printf.printf "%s: OK (wire/3 %.0f req/s vs wire/2 %.0f req/s, %.2fx)\n" path
     r3 r2 (r3 /. r2)
 
+(* --- probcons-repro/1 ---------------------------------------------------- *)
+
+(* The schema lives with the harness: [Dst.Repro.of_json] is total and
+   rejects a wrong tag, missing seed/plan/invariant/ops fields, and
+   non-finite timings — validating here with the same decoder the
+   replay path uses means an artifact this tool accepts is one
+   [tools/replay.exe] can actually load. *)
+let validate_repro path doc =
+  match Dst.Repro.of_json doc with
+  | Error msg -> fail "%s" msg
+  | Ok r ->
+      if r.Dst.Repro.shrunk_units > r.Dst.Repro.original_units then
+        fail "shrunk_units (%d) exceeds original_units (%d)"
+          r.Dst.Repro.shrunk_units r.Dst.Repro.original_units;
+      (match Dst.Registry.expand r.Dst.Repro.system with
+      | Ok _ -> ()
+      | Error msg -> fail "%s" msg);
+      Printf.printf
+        "%s: OK (repro: system %s, invariant %s, expect %s, %d -> %d units \
+         in %d shrink attempts)\n"
+        path r.Dst.Repro.system r.Dst.Repro.invariant
+        (match r.Dst.Repro.expect with `Fail -> "fail" | `Pass -> "pass")
+        r.Dst.Repro.original_units r.Dst.Repro.shrunk_units
+        r.Dst.Repro.shrink_attempts
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
@@ -294,5 +322,6 @@ let () =
   | Some "probcons-loadgen/3" -> validate_loadgen ~version:3 path doc
   | Some "probcons-chaos/1" -> validate_chaos path doc
   | Some "probcons-service-bench/1" -> validate_service_bench path doc
+  | Some "probcons-repro/1" -> validate_repro path doc
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "missing schema tag"
