@@ -156,7 +156,16 @@ let analyze_cmd =
             "Print the canonical JSON payload — byte-identical to the query \
              service's reply for the same scenario.")
   in
-  let run proto n p mix byz_fraction quorums seed scenario_file json () =
+  let exact_arg =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Force exact 2^N subset enumeration instead of the automatic \
+             DP/convolution selection (tops out around N=24; the \
+             cross-validation override for the fast paths).")
+  in
+  let run proto n p mix byz_fraction quorums seed scenario_file json exact () =
     let scenario =
       match scenario_file with
       | Some path -> read_scenario_file path
@@ -169,12 +178,15 @@ let analyze_cmd =
           | Ok s -> s
           | Error msg -> die "%s" msg)
     in
+    let strategy =
+      if exact then Some Probcons.Analysis.Enumeration else None
+    in
     if json then
-      match Probcons.Registry.analyze_json scenario with
+      match Probcons.Registry.analyze_json ?strategy scenario with
       | Ok payload -> print_endline (Obs.Json.to_string payload)
       | Error msg -> die "%s" msg
     else
-      match Probcons.Registry.analyze scenario with
+      match Probcons.Registry.analyze ?strategy scenario with
       | Error msg -> die "%s" msg
       | Ok result ->
           Format.printf "%a@." Probcons.Analysis.pp_result result;
@@ -187,7 +199,7 @@ let analyze_cmd =
     with_metrics
       Term.(
         const run $ proto_name_arg $ n_arg $ p_arg $ mix_arg $ byz_fraction_arg
-        $ quorum_arg $ seed_opt_arg $ scenario_file_arg $ json_arg)
+        $ quorum_arg $ seed_opt_arg $ scenario_file_arg $ json_arg $ exact_arg)
   in
   Cmd.v
     (cmd_info "analyze"
@@ -1292,6 +1304,122 @@ let servebench_cmd =
          const run $ clients_arg $ distinct_arg $ duration_arg $ warmup_arg
          $ pipeline_arg $ json_arg))
 
+(* --- fleet --------------------------------------------------------- *)
+
+let fleet_cmd =
+  let nodes_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "nodes" ] ~docv:"N" ~doc:"Fleet size (consensus nodes).")
+  in
+  let ticks_arg =
+    Arg.(
+      value & opt int 26
+      & info [ "ticks" ] ~docv:"T" ~doc:"Telemetry ticks to run.")
+  in
+  let quorum_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:"Initial commit quorum (default: majority).")
+  in
+  let fleet_nines_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "target-nines" ] ~docv:"K"
+          ~doc:"Liveness target as nines of P(quorum live).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the canonical fleet payload — byte-identical to what the \
+             server returns for the same parameters over wire/2 and wire/3.")
+  in
+  let bench_arg =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Instead of the controller loop, benchmark incremental updates \
+             against full recomputes at each size in $(b,--sizes).")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1_000; 10_000 ]
+      & info [ "sizes" ] ~docv:"N1,N2,..."
+          ~doc:"Fleet sizes for $(b,--bench).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the probcons-fleet-bench/1 artifact to $(docv).")
+  in
+  let run_bench seed sizes out =
+    List.iter
+      (fun n -> if n <= 0 then die "fleet --bench: sizes must be positive")
+      sizes;
+    let rows = Fleetctl.Bench.run ~seed ~sizes () in
+    Format.printf "%10s  %-18s  %10s  %12s  %12s  %9s@." "n" "kernel" "ops"
+      "ns/op" "ops/s" "refreshes";
+    List.iter
+      (fun r ->
+        Format.printf "%10d  %-18s  %10d  %12.0f  %12.2f  %9d@."
+          r.Fleetctl.Bench.n r.Fleetctl.Bench.kernel r.Fleetctl.Bench.ops
+          r.Fleetctl.Bench.ns_per_op r.Fleetctl.Bench.ops_per_sec
+          r.Fleetctl.Bench.refreshes)
+      rows;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Fleetctl.Bench.to_json ~seed rows));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "fleet bench artifact written to %s@." path
+  in
+  let run nodes ticks seed quorum nines json bench sizes out () =
+    if bench then run_bench seed sizes out
+    else begin
+      if nodes <= 0 then die "fleet: --nodes must be positive";
+      if ticks < 0 then die "fleet: --ticks must be non-negative";
+      let cfg = Fleetctl.Controller.default_config ~seed ~ticks ~nodes () in
+      let cfg =
+        {
+          cfg with
+          Fleetctl.Controller.quorum =
+            (match quorum with
+            | None -> cfg.Fleetctl.Controller.quorum
+            | Some q ->
+                if q < 1 || q > nodes then
+                  die "fleet: --quorum must be in [1, %d]" nodes
+                else q);
+          target_live = Prob.Nines.to_prob nines;
+        }
+      in
+      let outcome = Fleetctl.Controller.run cfg in
+      if json then
+        print_endline (Obs.Json.to_string (Fleetctl.Controller.payload outcome))
+      else Format.printf "%a@." Fleetctl.Controller.pp_outcome outcome
+    end
+  in
+  Cmd.v
+    (cmd_info "fleet"
+       ~doc:
+         "Run the fleet controller: stream seeded synthetic telemetry, refit \
+          per-node fault curves, track the live failure distribution with \
+          O(n) incremental updates, and emit quorum-resize / preemptive-swap \
+          recommendations whenever the liveness target slips.")
+    (with_metrics
+       Term.(
+         const run $ nodes_arg $ ticks_arg $ seed_arg $ quorum_arg
+         $ fleet_nines_arg $ json_arg $ bench_arg $ sizes_arg $ out_arg))
+
 let version_cmd =
   let run () =
     Format.printf "probcons %s@." version;
@@ -1310,7 +1438,7 @@ let main_cmd =
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
       bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
-      dst_cmd; servebench_cmd; version_cmd;
+      dst_cmd; servebench_cmd; fleet_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

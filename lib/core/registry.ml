@@ -6,7 +6,12 @@ module type Protocol_model = sig
   val quorum_keys : string list
   val protocol_of : Scenario.t -> (Protocol.t, string) result
   val validate : Scenario.t -> (unit, string) result
-  val analyze : ?domains:int -> Scenario.t -> (Analysis.result, string) result
+
+  val analyze :
+    ?domains:int ->
+    ?strategy:Analysis.strategy ->
+    Scenario.t ->
+    (Analysis.result, string) result
 end
 
 type entry = (module Protocol_model)
@@ -42,14 +47,14 @@ let check_common ~name ~max_nodes ~quorum_keys ?(stakes_ok = false) s =
           errf "stakes only apply to the stake protocol (got %s)" name
         else Ok ()
 
-let run ~default_byz ?domains s proto =
+let run ~default_byz ?domains ?strategy s proto =
   let byz_fraction =
     Option.value (Scenario.byz_fraction s) ~default:default_byz
   in
   let fleet = Scenario.fleet ~byz_fraction s in
   wrap (fun () ->
-      Analysis.run ?at:(Scenario.at s) ?seed:(Scenario.seed s) ?domains proto
-        fleet)
+      Analysis.run ?at:(Scenario.at s) ?seed:(Scenario.seed s) ?strategy
+        ?domains proto fleet)
 
 (* Builds a standard entry from its defaults plus a scenario-to-model
    function; the closed-over [protocol_of] already performs the
@@ -69,9 +74,9 @@ let model ~name ~doc ~byz ?(max_nodes = Scenario.max_fleet_nodes)
 
     let validate s = Result.map ignore (protocol_of s)
 
-    let analyze ?domains s =
+    let analyze ?domains ?strategy s =
       let* proto = protocol_of s in
-      run ~default_byz:byz ?domains s proto
+      run ~default_byz:byz ?domains ?strategy s proto
   end)
 
 let raft =
@@ -175,7 +180,7 @@ let quorum_availability : entry =
 
     let validate s = Result.map ignore (check s)
 
-    let analyze ?domains s =
+    let analyze ?domains ?strategy s =
       let* n, k = check s in
       let fleet = Scenario.fleet ~byz_fraction:default_byz_fraction s in
       let probs =
@@ -183,8 +188,11 @@ let quorum_availability : entry =
         | None -> Faultmodel.Fleet.fault_probs fleet
         | Some at -> Faultmodel.Fleet.fault_probs ~at fleet
       in
+      (* Enumeration strategy maps to the exact-override path; every
+         other strategy keeps the count DP. *)
+      let exact = strategy = Some Analysis.Enumeration in
       let a =
-        Quorum.Quorum_system.availability ?domains
+        Quorum.Quorum_system.availability ?domains ~exact
           (Quorum.Quorum_system.Threshold { n; k })
           probs
       in
@@ -221,8 +229,10 @@ let dispatch : 'a. Scenario.t -> (entry -> 'a) -> ((string -> 'a) -> 'a) =
 let validate s =
   dispatch s (fun (module M) -> M.validate s) (fun msg -> Error msg)
 
-let analyze ?domains s =
-  dispatch s (fun (module M) -> M.analyze ?domains s) (fun msg -> Error msg)
+let analyze ?domains ?strategy s =
+  dispatch s
+    (fun (module M) -> M.analyze ?domains ?strategy s)
+    (fun msg -> Error msg)
 
 let protocol_of s =
   dispatch s (fun (module M) -> M.protocol_of s) (fun msg -> Error msg)
@@ -250,6 +260,6 @@ let payload ~n (r : Analysis.result) =
       ("nines", Obs.Json.number (Prob.Nines.of_prob r.Analysis.p_safe_live));
     ]
 
-let analyze_json ?domains s =
-  let* r = analyze ?domains s in
+let analyze_json ?domains ?strategy s =
+  let* r = analyze ?domains ?strategy s in
   Ok (payload ~n:(Scenario.size s) r)

@@ -48,9 +48,16 @@ module type Protocol_model = sig
   (** Full scenario-against-model validation without running anything:
       node bound, quorum keys and values, stakes applicability. *)
 
-  val analyze : ?domains:int -> Scenario.t -> (Analysis.result, string) result
+  val analyze :
+    ?domains:int ->
+    ?strategy:Analysis.strategy ->
+    Scenario.t ->
+    (Analysis.result, string) result
   (** Validate and run. Deterministic: equal scenarios yield equal
-      results for every [?domains]. *)
+      results for every [?domains]. [?strategy] overrides the engine's
+      automatic DP-vs-enumeration selection ([Analysis.Enumeration] is
+      the [--exact] escape hatch; the quorum-availability model maps it
+      to exact subset enumeration). *)
 end
 
 type entry = (module Protocol_model)
@@ -66,7 +73,11 @@ val validate : Scenario.t -> (unit, string) result
 (** Dispatch on the scenario's protocol name; unknown names are an
     [Error] listing the known ones. *)
 
-val analyze : ?domains:int -> Scenario.t -> (Analysis.result, string) result
+val analyze :
+  ?domains:int ->
+  ?strategy:Analysis.strategy ->
+  Scenario.t ->
+  (Analysis.result, string) result
 
 val protocol_of : Scenario.t -> (Protocol.t, string) result
 
@@ -77,6 +88,10 @@ val payload : n:int -> Analysis.result -> Obs.Json.t
 (** The one canonical result rendering: [protocol], [n], [engine],
     [p_safe], [p_live], [p_safe_live], [nines] in that order. *)
 
-val analyze_json : ?domains:int -> Scenario.t -> (Obs.Json.t, string) result
+val analyze_json :
+  ?domains:int ->
+  ?strategy:Analysis.strategy ->
+  Scenario.t ->
+  (Obs.Json.t, string) result
 (** [analyze] composed with {!payload} — what the service, the CLI
     [--json] mode and the bench all emit. *)

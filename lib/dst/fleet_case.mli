@@ -1,0 +1,32 @@
+(** DST system ["fleet"]: the fleet controller under the harness.
+
+    A case is one seeded controller run (fleet size, tick count, seed,
+    commit quorum, liveness target). Two invariants:
+
+    - ["deterministic_recommendations"]: two runs of the same config
+      render byte-identical canonical payloads — the property the wire
+      cache and the replayable-recommendation guarantee rest on;
+    - ["incremental_divergence"]: with per-tick verification on, the
+      incremental failure distribution never drifts from a from-scratch
+      recompute past the engine's drift bound (plus an O(n eps) scratch
+      rounding allowance).
+
+    Shrinking drops ticks and nodes; the op trace in a repro artifact
+    is the tick sequence. *)
+
+type t = {
+  nodes : int;
+  ticks : int;
+  seed : int;
+  quorum : int;
+  target_nines : float;
+}
+
+val system_name : string
+(** ["fleet"]. *)
+
+val divergence_allowance : t -> float
+(** The invariant's bound: the engine drift bound plus the scratch
+    recompute's own O(nodes eps) rounding room. *)
+
+val system : unit -> t Harness.system

@@ -9,7 +9,8 @@
 type packed = Packed : 'c Harness.system -> packed
 
 val names : string list
-(** ["sim-raft"; "sim-pbft"; "sim-benor"; "sim-rabia"; "service"]. *)
+(** ["sim-raft"; "sim-pbft"; "sim-benor"; "sim-rabia"; "service";
+    "fleet"]. *)
 
 val expand : string -> (string list, string) result
 (** [expand "sim"] is every simulator system; a registered name maps

@@ -1,0 +1,101 @@
+type row = {
+  n : int;
+  kernel : string;
+  ops : int;
+  seconds : float;
+  ns_per_op : float;
+  ops_per_sec : float;
+  refreshes : int;
+}
+
+(* Window sizes chosen so every row does comparable total work: more
+   sustained updates at small n, fewer at the million-node end where a
+   single full recompute already takes minutes. *)
+let ops_for n = min 20_000 (max 50 (20_000_000 / max 1 n))
+
+let runs_for n = if n >= 100_000 then 1 else if n >= 10_000 then 3 else 10
+
+let fleet_probs rng n =
+  (* Realistic per-node fault probabilities: log-uniform over
+     [0.001, 0.05], the band a one-year horizon over datacenter AFR
+     curves actually produces. *)
+  let log_min = log 0.001 and log_max = log 0.05 in
+  Array.init n (fun _ ->
+      exp (log_min +. (Prob.Rng.float rng *. (log_max -. log_min))))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let make_row ~n ~kernel ~ops ~seconds ~refreshes =
+  let seconds = Float.max seconds 1e-9 in
+  {
+    n;
+    kernel;
+    ops;
+    seconds;
+    ns_per_op = seconds *. 1e9 /. float_of_int ops;
+    ops_per_sec = float_of_int ops /. seconds;
+    refreshes;
+  }
+
+let bench_size ~seed n =
+  let rng = Prob.Rng.of_pair seed n in
+  let probs = fleet_probs rng n in
+  let engine = Prob.Incremental.create probs in
+  let ops = ops_for n in
+  (* Pre-draw the update schedule so the timed window is all engine. *)
+  let targets = Array.init ops (fun _ -> Prob.Rng.int rng n) in
+  let fresh = fleet_probs rng ops in
+  let refreshes_before = Prob.Incremental.refresh_count engine in
+  let (), inc_seconds =
+    time (fun () ->
+        for k = 0 to ops - 1 do
+          Prob.Incremental.update engine targets.(k) fresh.(k)
+        done)
+  in
+  let inc_row =
+    make_row ~n ~kernel:"incremental-update" ~ops ~seconds:inc_seconds
+      ~refreshes:(Prob.Incremental.refresh_count engine - refreshes_before)
+  in
+  let runs = runs_for n in
+  let final = Prob.Incremental.probs engine in
+  let sink = ref 0. in
+  let (), full_seconds =
+    time (fun () ->
+        for _ = 1 to runs do
+          let dist = Prob.Poisson_binomial.pmf final in
+          sink := !sink +. dist.(0)
+        done)
+  in
+  ignore (Sys.opaque_identity !sink);
+  let full_row =
+    make_row ~n ~kernel:"full-recompute" ~ops:runs ~seconds:full_seconds
+      ~refreshes:0
+  in
+  [ inc_row; full_row ]
+
+let run ?(seed = 42) ~sizes () =
+  List.concat_map (fun n -> bench_size ~seed n) sizes
+
+let row_to_json r =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int r.n);
+      ("kernel", Obs.Json.String r.kernel);
+      ("ops", Obs.Json.Int r.ops);
+      ("seconds", Obs.Json.number r.seconds);
+      ("ns_per_op", Obs.Json.number r.ns_per_op);
+      ("ops_per_sec", Obs.Json.number r.ops_per_sec);
+      ("refreshes", Obs.Json.Int r.refreshes);
+    ]
+
+let to_json ~seed rows =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "probcons-fleet-bench/1");
+      ("seed", Obs.Json.Int seed);
+      ("drift_bound", Obs.Json.number Prob.Incremental.default_drift_bound);
+      ("rows", Obs.Json.List (List.map row_to_json rows));
+    ]

@@ -1,0 +1,30 @@
+(** Incremental-update vs full-recompute micro-benchmark.
+
+    The headline numbers behind BENCH_fleet.json: at each fleet size,
+    time a window of sustained {!Prob.Incremental.update} calls (any
+    drift-triggered refreshes that fire inside the window are included
+    and counted) against from-scratch {!Prob.Poisson_binomial.pmf}
+    recomputes of the same distribution. Probabilities are drawn in
+    the realistic fleet band [0.001, 0.05]. Deterministic given the
+    seed. *)
+
+type row = {
+  n : int;
+  kernel : string;  (** ["incremental-update"] or ["full-recompute"]. *)
+  ops : int;  (** Timed operations in the window. *)
+  seconds : float;
+  ns_per_op : float;
+  ops_per_sec : float;
+  refreshes : int;  (** Full-DP refreshes inside an incremental window. *)
+}
+
+val run : ?seed:int -> sizes:int list -> unit -> row list
+(** Two rows (incremental, recompute) per size, in input order. *)
+
+val ops_for : int -> int
+(** The sustained-update window length used at fleet size [n]. *)
+
+val to_json : seed:int -> row list -> Obs.Json.t
+(** The [probcons-fleet-bench/1] artifact. *)
+
+val row_to_json : row -> Obs.Json.t

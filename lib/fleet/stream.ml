@@ -1,0 +1,92 @@
+type config = {
+  seed : int;
+  nodes : int;
+  devices_per_node : int;
+  window : float;
+  batch : int;
+  drift_every : int;
+  drift_factor : float;
+  base_afr_min : float;
+  base_afr_max : float;
+}
+
+let default_config ~seed ~nodes =
+  {
+    seed;
+    nodes;
+    devices_per_node = 256;
+    window = 8766.;
+    batch = max 1 (nodes / 4);
+    drift_every = 5;
+    drift_factor = 4.;
+    base_afr_min = 0.01;
+    base_afr_max = 0.08;
+  }
+
+type event = {
+  node : int;
+  observation : Faultmodel.Telemetry.observation;
+}
+
+type t = {
+  cfg : config;
+  truth : float array; (* current ground-truth AFR per node *)
+  mutable ticks : int;
+}
+
+(* Stable stream ids, disjoint by residue class mod 3: the initial
+   truth draw, the drift schedule, and each (tick, node) telemetry
+   report get independent derived streams, so adding ticks or nodes
+   never perturbs earlier draws. *)
+let truth_stream seed i = Prob.Rng.of_pair seed (3 * i)
+let drift_stream seed tick = Prob.Rng.of_pair seed ((3 * tick) + 1)
+
+let report_stream cfg ~tick ~node =
+  Prob.Rng.of_pair cfg.seed ((3 * ((tick * cfg.nodes) + node)) + 2)
+
+let create cfg =
+  if cfg.nodes <= 0 then invalid_arg "Stream.create: nodes must be positive";
+  if cfg.batch <= 0 || cfg.batch > cfg.nodes then
+    invalid_arg "Stream.create: batch must be in [1, nodes]";
+  if cfg.window <= 0. then invalid_arg "Stream.create: window must be positive";
+  if cfg.devices_per_node <= 0 then
+    invalid_arg "Stream.create: devices_per_node must be positive";
+  if not (cfg.base_afr_min > 0. && cfg.base_afr_max >= cfg.base_afr_min) then
+    invalid_arg "Stream.create: bad AFR range";
+  let log_min = log cfg.base_afr_min and log_max = log cfg.base_afr_max in
+  let truth =
+    Array.init cfg.nodes (fun i ->
+        let u = Prob.Rng.float (truth_stream cfg.seed i) in
+        exp (log_min +. (u *. (log_max -. log_min))))
+  in
+  { cfg; truth; ticks = 0 }
+
+let config t = t.cfg
+let tick_count t = t.ticks
+let ground_truth_afr t i = t.truth.(i)
+
+let max_truth_afr = 0.6
+
+let tick t =
+  let cfg = t.cfg in
+  t.ticks <- t.ticks + 1;
+  if cfg.drift_every > 0 && t.ticks mod cfg.drift_every = 0 then begin
+    let rng = drift_stream cfg.seed t.ticks in
+    let victim = Prob.Rng.int rng cfg.nodes in
+    t.truth.(victim) <- Float.min max_truth_afr (t.truth.(victim) *. cfg.drift_factor)
+  end;
+  let start = (t.ticks - 1) * cfg.batch mod cfg.nodes in
+  List.init cfg.batch (fun k -> (start + k) mod cfg.nodes)
+  |> List.sort_uniq compare
+  |> List.map (fun node ->
+         let rng = report_stream cfg ~tick:t.ticks ~node in
+         let curve = Faultmodel.Fault_curve.of_afr t.truth.(node) in
+         let observation =
+           Faultmodel.Telemetry.observe rng curve
+             ~devices:cfg.devices_per_node ~window:cfg.window
+         in
+         { node; observation })
+
+let replace t i ~afr =
+  if afr <= 0. then invalid_arg "Stream.replace: afr must be positive";
+  t.truth.(i) <- afr

@@ -1,0 +1,56 @@
+(** Seeded synthetic telemetry stream for the fleet controller.
+
+    Every node carries a hidden ground-truth fault curve; each tick a
+    round-robin batch of nodes reports a right-censored telemetry
+    window drawn from its current truth via {!Faultmodel.Telemetry}.
+    Ground truth drifts: periodically one node's AFR is multiplied by
+    a degradation factor, so the fleet the controller believes in
+    slowly stops being the fleet that exists — exactly the gap the
+    refit loop is there to close.
+
+    Everything is derived from [(seed, tick, node)] through split RNG
+    streams, so a stream replays bit-identically: same seed, same
+    events, same drift — the determinism the DST invariants and the
+    wire cache both rely on. *)
+
+type config = {
+  seed : int;
+  nodes : int;
+  devices_per_node : int;  (** Device cohort observed per node report. *)
+  window : float;  (** Telemetry window per report, hours. *)
+  batch : int;  (** Nodes reporting per tick (round-robin). *)
+  drift_every : int;  (** A degradation event every this many ticks. *)
+  drift_factor : float;  (** AFR multiplier applied to the victim. *)
+  base_afr_min : float;  (** Ground-truth AFR range, log-uniform. *)
+  base_afr_max : float;
+}
+
+val default_config : seed:int -> nodes:int -> config
+(** 256 devices/node over a one-year window, a quarter of the fleet
+    reporting per tick, one 4x degradation every 5 ticks, AFRs
+    log-uniform in [0.01, 0.08]. *)
+
+type event = {
+  node : int;
+  observation : Faultmodel.Telemetry.observation;
+}
+
+type t
+
+val create : config -> t
+val config : t -> config
+val tick_count : t -> int
+
+val ground_truth_afr : t -> int -> float
+(** The hidden per-node AFR — tests and drift checks only; the
+    controller never reads it. *)
+
+val tick : t -> event list
+(** Advance one tick: apply any scheduled degradation, then draw the
+    reporting batch's observations. Events are in ascending node
+    order. *)
+
+val replace : t -> int -> afr:float -> unit
+(** Swap the node's hardware: reset its ground truth to [afr] — the
+    stream-side effect of a controller-applied preemptive
+    reconfiguration. *)

@@ -1,0 +1,80 @@
+(** Incremental Poisson-binomial engine.
+
+    {!Poisson_binomial.pmf} recomputes the whole success-count
+    distribution in O(n*k) on every change — fine for a one-shot
+    analysis, hopeless for a fleet controller tracking millions of
+    nodes whose fault curves drift continuously. This engine maintains
+    the distribution as a polynomial product [Π_i ((1-p_i) + p_i x)]
+    and supports replacing one factor in O(n): divide the old factor
+    out of the coefficient vector (a stable two-term recurrence, run
+    in the direction that keeps the amplification ratio at most 1),
+    then multiply the new factor in with Neumaier-compensated
+    arithmetic.
+
+    Divide-out is the ill-conditioned step: it both introduces fresh
+    rounding and amplifies whatever error the coefficient vector
+    already carries, by up to [amp p = min (2n) (1/|1-2p|)]. The
+    engine therefore keeps a multiplicative drift account,
+    [drift <- drift*amp + O(eps)*amp], and runs a full from-scratch
+    refresh as soon as it crosses [drift_bound]. The bound is a hard
+    accuracy contract: the held distribution never silently diverges
+    from the scratch recompute by more than the bound plus the scratch
+    DP's own O(n*eps) error. *)
+
+type t
+
+val default_drift_bound : float
+(** [1e-9] — comfortably above per-update error for realistic fault
+    probabilities (so refreshes are rare) and far below any
+    probability a quorum decision would act on. *)
+
+val create : ?drift_bound:float -> float array -> t
+(** Build from per-node success probabilities (clamped to [0, 1]) via
+    one full DP. O(n^2). The input array is copied. *)
+
+val n : t -> int
+val prob : t -> int -> float
+(** Current probability of factor [i]. *)
+
+val probs : t -> float array
+(** Copy of the current factor vector. *)
+
+val update : t -> int -> float -> unit
+(** [update t i p] replaces factor [i]'s probability with [p]
+    (clamped). O(n), or O(n^2) on the updates that trip the drift
+    refresh. No-op when [p] equals the current value. *)
+
+val update_batch : t -> (int * float) list -> unit
+(** Apply updates in order; drift is checked once at the end, so a
+    batch triggers at most one refresh. *)
+
+val refresh : t -> unit
+(** Force the full from-scratch DP now and reset the drift account. *)
+
+val refresh_count : t -> int
+(** Full DP recomputes so far, the initial {!create} excluded. *)
+
+val update_count : t -> int
+(** Factor replacements applied so far (batched ones included). *)
+
+val drift : t -> float
+(** Current accumulated conditioning-error bound (reset by refresh). *)
+
+val drift_bound : t -> float
+
+val pmf : t -> float array
+(** Copy of the current distribution; element [k] is P(exactly [k]
+    successes). Length [n + 1]. *)
+
+val cdf_le : t -> int -> float
+(** P(successes <= k). O(k). *)
+
+val tail_ge : t -> int -> float
+(** P(successes >= k). O(n - k). *)
+
+val expectation : t -> float
+
+val sup_distance_from_scratch : t -> float
+(** Max |pmf_k - scratch_k| against a fresh {!Poisson_binomial.pmf} of
+    the current factors — the divergence the drift bound caps. O(n^2);
+    for tests and invariant checks. *)

@@ -3,12 +3,17 @@ let pmf probs =
   let dist = Array.make (n + 1) 0. in
   dist.(0) <- 1.;
   for i = 0 to n - 1 do
-    let p = Math_utils.clamp_prob probs.(i) in
-    (* Convolve with (1-p, p); walk downward so each trial is used once. *)
+    let p = Math_utils.clamp_prob (Array.unsafe_get probs i) in
+    let q = 1. -. p in
+    (* Convolve with (1-p, p); walk downward so each trial is used once.
+       Unsafe accesses: the loop runs over [1, i+1] with i < n and the
+       array has length n+1, and this O(n^2) kernel is the fleet-scale
+       recompute baseline, where bounds checks are a measurable tax. *)
     for k = i + 1 downto 1 do
-      dist.(k) <- (dist.(k) *. (1. -. p)) +. (dist.(k - 1) *. p)
+      Array.unsafe_set dist k
+        ((Array.unsafe_get dist k *. q) +. (Array.unsafe_get dist (k - 1) *. p))
     done;
-    dist.(0) <- dist.(0) *. (1. -. p)
+    dist.(0) <- dist.(0) *. q
   done;
   dist
 

@@ -58,12 +58,30 @@ val intersects_in : t -> t -> int
     safety conditions are assertions that such minima are >= 1 (CFT) or
     large enough to contain a correct node (BFT). *)
 
-val availability : ?domains:int -> t -> float array -> float
+val auto_exact_max : int
+(** Node count above which {!availability} auto-selects a convolution
+    DP over 2^n subset enumeration for weighted systems (20 — the
+    enumeration path tops out around n = 24). *)
+
+val max_weight_dp : int
+(** Largest total weight the weighted DP will allocate a distribution
+    for. *)
+
+val weighted_dp : weights:int array -> threshold:int -> float array -> float
+(** The O(n*W) weight-convolution DP behind the weighted fast path,
+    callable at any node count — the cross-validation surface against
+    [~exact:true] enumeration at small n. *)
+
+val availability : ?domains:int -> ?exact:bool -> t -> float array -> float
 (** [availability qs probs] = probability that the set of live nodes
     contains a quorum, when node [u] fails independently with
-    probability [probs.(u)]. Closed form for threshold systems with
-    uniform probabilities, Poisson-binomial for heterogeneous
-    thresholds, exact enumeration otherwise. *)
+    probability [probs.(u)]. Threshold systems use the Poisson-binomial
+    count DP; weighted systems use 2^n enumeration up to
+    {!auto_exact_max} nodes and an O(n*W) DP over total live weight
+    beyond; grid/explicit systems always enumerate. [~exact:true]
+    forces subset enumeration everywhere (n <= [Subset.max_enumeration]
+    required) — the override and cross-validation surface for the DP
+    paths. *)
 
 val uniform_strategy_load : t -> float
 (** Load of the strategy that picks uniformly among minimal quorums

@@ -15,18 +15,34 @@ type result = {
   cache_hit_rate : float option;
 }
 
-(* Cheap, pairwise-distinct analysis queries: small odd fleets with
-   distinct fault probabilities, so each pool slot is its own cache
-   entry but no slot costs more than a count-DP over n <= 11. Requests
-   are built from real scenarios and encoded through
-   [Scenario.to_json], so the generator exercises the server's actual
-   cache-key canonicalization, not a hand-built string. *)
+(* Cheap, pairwise-distinct queries, so each pool slot is its own
+   cache entry but no slot costs more than a count-DP over n <= 11 or
+   a few fleet-controller ticks over n <= 9. Two analysis slots to
+   every fleet slot: analyses are built from real scenarios and
+   encoded through [Scenario.to_json], fleet slots run the controller
+   closed loop (alternating recommend/ingest, distinct seeds), so the
+   generator — and with it the chaos soak, under both framings —
+   exercises the server's actual cache-key canonicalization across
+   every cacheable subsystem. *)
 let query_pool distinct =
   Array.init distinct (fun i ->
-      let mix = [ ((2 * (i mod 5)) + 3, 0.01 +. (0.001 *. float_of_int i)) ] in
-      match Probcons.Scenario.make ~protocol:"raft" ~mix () with
-      | Ok scenario -> Wire.Analyze { scenario }
-      | Error msg -> invalid_arg ("Loadgen.query_pool: " ^ msg))
+      if i mod 3 = 2 then
+        let params =
+          {
+            Wire.nodes = 5 + (2 * (i mod 3));
+            ticks = 4 + (i mod 5);
+            seed = 1 + i;
+            quorum = None;
+            target_nines = 3.;
+          }
+        in
+        if i mod 6 = 5 then Wire.Fleet_ingest params
+        else Wire.Fleet_recommend params
+      else
+        let mix = [ ((2 * (i mod 5)) + 3, 0.01 +. (0.001 *. float_of_int i)) ] in
+        match Probcons.Scenario.make ~protocol:"raft" ~mix () with
+        | Ok scenario -> Wire.Analyze { scenario }
+        | Error msg -> invalid_arg ("Loadgen.query_pool: " ^ msg))
 
 let json_field name = function
   | Obs.Json.Obj fields -> List.assoc_opt name fields

@@ -103,6 +103,24 @@ let plan ~target_nines ~groups =
           nines p.p_safe_live;
         ]
 
+(* One config builder for both fleet kinds — and the same derivation
+   the [probcons fleet] command uses, which is what makes the CLI's
+   [--json] output and both wire framings byte-identical. *)
+let fleet_outcome (f : Wire.fleet_params) =
+  let cfg =
+    Fleetctl.Controller.default_config ~seed:f.Wire.seed ~ticks:f.Wire.ticks
+      ~nodes:f.Wire.nodes ()
+  in
+  let cfg =
+    {
+      cfg with
+      Fleetctl.Controller.quorum =
+        Option.value f.Wire.quorum ~default:cfg.Fleetctl.Controller.quorum;
+      target_live = Prob.Nines.to_prob f.Wire.target_nines;
+    }
+  in
+  Fleetctl.Controller.run cfg
+
 let handle query =
   Obs.Metrics.incr m_handled;
   match query with
@@ -130,6 +148,9 @@ let handle query =
         | Wire.Markov { n; quorum; afr; mttr_hours } ->
             markov ~n ~quorum ~afr ~mttr_hours
         | Wire.Plan { target_nines; groups } -> plan ~target_nines ~groups
+        | Wire.Fleet_recommend f -> Fleetctl.Controller.payload (fleet_outcome f)
+        | Wire.Fleet_ingest f ->
+            Fleetctl.Controller.ingest_payload (fleet_outcome f)
         | Wire.Stats | Wire.Ping -> assert false
       with
       | payload -> Ok payload

@@ -6,6 +6,14 @@ type system =
 
 type probs = Uniform of float | Per_node of float list
 
+type fleet_params = {
+  nodes : int;
+  ticks : int;
+  seed : int;
+  quorum : int option;
+  target_nines : float;
+}
+
 type query =
   | Analyze of { scenario : Probcons.Scenario.t }
   | Availability of { system : system; probs : probs }
@@ -13,6 +21,8 @@ type query =
   | Quorum_size of { target_live_nines : float; groups : (int * float) list }
   | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
   | Plan of { target_nines : float; groups : (int * float) list }
+  | Fleet_recommend of fleet_params
+  | Fleet_ingest of fleet_params
   | Stats
   | Ping
 
@@ -74,6 +84,12 @@ let max_threshold_nodes = 1000
 let max_markov_nodes = 64
 let max_nines = 12.
 
+(* Fleet-controller runs are the most expensive cacheable queries: the
+   per-tick verification recompute is O(nodes^2), so the wire caps the
+   closed loop at sizes where a cold run stays well under a second. *)
+let max_fleet_ctrl_nodes = 256
+let max_fleet_ticks = 128
+
 (* --- Canonical encoding ----------------------------------------------- *)
 
 let kind_string = function
@@ -83,6 +99,8 @@ let kind_string = function
   | Quorum_size _ -> "quorum_size"
   | Markov _ -> "markov"
   | Plan _ -> "plan"
+  | Fleet_recommend _ -> "fleet_recommend"
+  | Fleet_ingest _ -> "fleet_ingest"
   | Stats -> "stats"
   | Ping -> "ping"
 
@@ -136,6 +154,15 @@ let query_params = function
       @ [ ("afr", Obs.Json.number afr); ("mttr_hours", Obs.Json.number mttr_hours) ]
   | Plan { target_nines; groups } ->
       [ ("target_nines", Obs.Json.number target_nines); ("mix", json_groups groups) ]
+  | Fleet_recommend f | Fleet_ingest f ->
+      (* Always the normalized values: a request that leans on the
+         defaults and one that spells them out share a cache entry. *)
+      [ ("nodes", Obs.Json.Int f.nodes); ("ticks", Obs.Json.Int f.ticks);
+        ("seed", Obs.Json.Int f.seed) ]
+      @ (match f.quorum with
+        | Some q -> [ ("quorum", Obs.Json.Int q) ]
+        | None -> [])
+      @ [ ("target_nines", Obs.Json.number f.target_nines) ]
   | Stats | Ping -> []
 
 let canonical_key query =
@@ -260,6 +287,43 @@ let parse_probs ~n params =
   | None, Some _ -> bad "probs must be a list of numbers"
   | None, None -> bad "missing p or probs"
 
+(* Fleet-controller params. [nodes] is required; everything else
+   defaults to the CLI's defaults and parses to normalized values (an
+   explicit majority quorum normalizes to the default's absence), so
+   shorthand and spelled-out requests share one cache entry — and one
+   payload byte sequence. *)
+let parse_fleet_params params =
+  let nodes = get_int "nodes" (Obs.Json.member "nodes" params) in
+  if nodes < 1 || nodes > max_fleet_ctrl_nodes then
+    bad "nodes must be in [1, %d]" max_fleet_ctrl_nodes;
+  let int_default name default =
+    match Obs.Json.member name params with
+    | None -> default
+    | Some j -> (
+        match Obs.Json.to_int j with
+        | Some v -> v
+        | None -> bad "%s must be an integer" name)
+  in
+  let ticks = int_default "ticks" 26 in
+  if ticks < 0 || ticks > max_fleet_ticks then
+    bad "ticks must be in [0, %d]" max_fleet_ticks;
+  let seed = int_default "seed" 42 in
+  let quorum =
+    match Obs.Json.member "quorum" params with
+    | None -> None
+    | Some j -> (
+        match Obs.Json.to_int j with
+        | Some q when q >= 1 && q <= nodes ->
+            if q = (nodes / 2) + 1 then None else Some q
+        | _ -> bad "quorum must be in [1, nodes]")
+  in
+  let target_nines =
+    match Obs.Json.member "target_nines" params with
+    | None -> 3.
+    | Some j -> check_nines "target_nines" (get_float "target_nines" (Some j))
+  in
+  { nodes; ticks; seed; quorum; target_nines }
+
 let parse_query ~kind ~params =
   match kind with
   | "analyze" -> (
@@ -320,6 +384,8 @@ let parse_query ~kind ~params =
               (get_float "target_nines" (Obs.Json.member "target_nines" params));
           groups = parse_groups params;
         }
+  | "fleet_recommend" -> Fleet_recommend (parse_fleet_params params)
+  | "fleet_ingest" -> Fleet_ingest (parse_fleet_params params)
   | "stats" -> Stats
   | "ping" -> Ping
   | _ -> raise Not_found

@@ -53,6 +53,19 @@ type system =
 
 type probs = Uniform of float | Per_node of float list
 
+(** Fleet-controller run parameters in normal form: [nodes] is
+    required on the wire; [ticks], [seed] and [target_nines] default to
+    the CLI's defaults (26, 42, 3.0) and an explicit majority [quorum]
+    normalizes to [None], so shorthand and spelled-out requests share
+    one cache entry. *)
+type fleet_params = {
+  nodes : int;
+  ticks : int;
+  seed : int;
+  quorum : int option;
+  target_nines : float;
+}
+
 (** A parsed, validated query in normal form. [Analyze] carries a full
     deployment scenario; [groups] elsewhere is the heterogeneous-fleet
     normal form [(count, fault_probability) list]. The [n]/[p]
@@ -65,6 +78,15 @@ type query =
   | Quorum_size of { target_live_nines : float; groups : (int * float) list }
   | Markov of { n : int; quorum : int option; afr : float; mttr_hours : float }
   | Plan of { target_nines : float; groups : (int * float) list }
+  | Fleet_recommend of fleet_params
+      (** Run the seeded fleet-controller closed loop and return its
+          canonical payload — the exact bytes [probcons fleet --json]
+          prints for the same parameters. Deterministic, so cacheable
+          like any other compute query. *)
+  | Fleet_ingest of fleet_params
+      (** Telemetry-and-refit summary of the same run (observation
+          counts, engine update/refresh counts, final distribution
+          stats) without the recommendation stream. *)
   | Stats  (** Server introspection; never cached. *)
   | Ping
       (** Health check: uptime, queue depth, live connections. Answered
@@ -112,6 +134,13 @@ val max_line_bytes : int
 val max_fleet_nodes : int
 (** Largest fleet any query may describe — re-exported from
     {!Probcons.Scenario.max_fleet_nodes}, the single mix validator. *)
+
+val max_fleet_ctrl_nodes : int
+(** Largest fleet a [fleet_recommend]/[fleet_ingest] closed loop may
+    run (256): per-tick verification is O(nodes^2). *)
+
+val max_fleet_ticks : int
+(** Longest fleet-controller run the wire accepts (128 ticks). *)
 
 val code_string : error_code -> string
 val code_of_string : string -> error_code option

@@ -85,6 +85,14 @@ let test_plan () =
   check_contains "plan --target-nines 3 --mix 3x0.01,4x0.08"
     [ "committee"; "execution: safe=true" ]
 
+let test_fleet () =
+  check_contains "fleet --nodes 9 --ticks 8 --quorum 7 --target-nines 5"
+    [ "fleet: 9 nodes"; "resize to"; "swap node"; "final:" ];
+  check_contains "fleet --nodes 9 --ticks 8 --quorum 7 --target-nines 5 --json"
+    [ {|"subsystem": "fleet"|}; {|"recommendations"|} ];
+  let status, _ = run_capture "fleet --nodes 0" in
+  Alcotest.(check bool) "rejects empty fleet" true (status <> 0)
+
 let test_bad_command_fails () =
   let status, _ = run_capture "no-such-command" in
   Alcotest.(check bool) "nonzero exit" true (status <> 0)
@@ -196,6 +204,7 @@ let suite =
     Alcotest.test_case "simulate" `Quick test_simulate;
     Alcotest.test_case "sweep csv" `Quick test_sweep_csv;
     Alcotest.test_case "plan" `Quick test_plan;
+    Alcotest.test_case "fleet" `Quick test_fleet;
     Alcotest.test_case "bad command fails" `Quick test_bad_command_fails;
     Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "serve requires listener" `Quick test_serve_requires_listener;

@@ -1,0 +1,349 @@
+(* The fleet controller: telemetry stream determinism, the closed
+   loop's recommendations, canonical-payload byte identity across the
+   CLI renderer and both wire framings, the DST system, and the
+   incremental-vs-recompute bench rows. *)
+
+open Fleetctl
+
+let with_watchdog ?(timeout = 60.) f =
+  let outcome = ref None in
+  let th =
+    Thread.create (fun () -> outcome := Some (try Ok (f ()) with e -> Error e)) ()
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    match !outcome with
+    | Some (Ok ()) -> Thread.join th
+    | Some (Error e) -> Thread.join th; raise e
+    | None ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "test timed out after %gs" timeout
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
+let temp_socket =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "probcons-fleet-%d-%d.sock" (Unix.getpid ()) !counter)
+
+(* The config the e2e and determinism tests share: a tight 7-of-9
+   quorum under a 5-nines target fires both recommendation levers. *)
+let tight_case () =
+  let cfg = Controller.default_config ~seed:42 ~ticks:8 ~nodes:9 () in
+  { cfg with Controller.quorum = 7; target_live = Prob.Nines.to_prob 5. }
+
+(* --- Stream --------------------------------------------------------- *)
+
+let test_stream_determinism () =
+  let cfg = Stream.default_config ~seed:11 ~nodes:7 in
+  let run () =
+    let s = Stream.create cfg in
+    List.concat_map
+      (fun _ ->
+        List.map
+          (fun { Stream.node; observation } ->
+            ( node,
+              observation.Faultmodel.Telemetry.failures,
+              observation.Faultmodel.Telemetry.device_hours ))
+          (Stream.tick s))
+      [ (); (); (); (); () ]
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same event count" (List.length a) (List.length b);
+  List.iter2
+    (fun (n1, f1, h1) (n2, f2, h2) ->
+      Alcotest.(check int) "node" n1 n2;
+      Alcotest.(check int) "failures" f1 f2;
+      Alcotest.(check (float 0.)) "device_hours" h1 h2)
+    a b
+
+let test_stream_drift_and_replace () =
+  let cfg =
+    { (Stream.default_config ~seed:3 ~nodes:4) with Stream.drift_every = 1 }
+  in
+  let s = Stream.create cfg in
+  let before = Array.init 4 (Stream.ground_truth_afr s) in
+  ignore (Stream.tick s);
+  let after = Array.init 4 (Stream.ground_truth_afr s) in
+  let drifted =
+    Array.exists Fun.id (Array.map2 (fun a b -> a <> b) before after)
+  in
+  Alcotest.(check bool) "one node drifted" true drifted;
+  Stream.replace s 0 ~afr:0.02;
+  Alcotest.(check (float 0.)) "replace resets truth" 0.02
+    (Stream.ground_truth_afr s 0)
+
+(* --- Controller ----------------------------------------------------- *)
+
+let payload_bytes o = Obs.Json.to_string (Controller.payload o)
+
+let test_controller_deterministic () =
+  let cfg = tight_case () in
+  let a = payload_bytes (Controller.run cfg)
+  and b = payload_bytes (Controller.run cfg) in
+  Alcotest.(check string) "payloads byte-identical" a b
+
+let test_controller_recommends () =
+  let o = Controller.run (tight_case ()) in
+  let resizes, swaps =
+    List.partition
+      (fun r ->
+        match r.Controller.action with
+        | Controller.Resize _ -> true
+        | Controller.Swap _ -> false)
+      o.Controller.recommendations
+  in
+  Alcotest.(check bool) "at least one resize" true (resizes <> []);
+  Alcotest.(check bool) "at least one swap" true (swaps <> []);
+  (* Recommendations fire only below target, and a swap must predict
+     an improvement over the live probability that triggered it. *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "fired below target" true
+        (r.Controller.p_live < (tight_case ()).Controller.target_live);
+      match r.Controller.action with
+      | Controller.Swap { predicted_live; _ } ->
+          Alcotest.(check bool) "swap predicts improvement" true
+            (predicted_live > r.Controller.p_live)
+      | Controller.Resize _ -> ())
+    o.Controller.recommendations
+
+let test_controller_divergence_bounded () =
+  let o = Controller.run (tight_case ()) in
+  Alcotest.(check bool) "verified ticks stay within drift bound" true
+    (o.Controller.max_divergence
+    <= Prob.Incremental.default_drift_bound
+       +. (16. *. 9. *. epsilon_float));
+  Alcotest.(check bool) "verification actually ran" true
+    ((tight_case ()).Controller.verify)
+
+let test_controller_validates () =
+  let cfg = tight_case () in
+  Alcotest.check_raises "quorum out of range"
+    (Invalid_argument "Controller.run: quorum must be in [1, nodes]")
+    (fun () -> ignore (Controller.run { cfg with Controller.quorum = 10 }));
+  Alcotest.check_raises "stream size mismatch"
+    (Invalid_argument "Controller.run: stream fleet size mismatch")
+    (fun () ->
+      ignore
+        (Controller.run
+           {
+             cfg with
+             Controller.stream = Stream.default_config ~seed:42 ~nodes:5;
+           }))
+
+(* --- Wire parse/encode ---------------------------------------------- *)
+
+let fleet_params nodes =
+  {
+    Service.Wire.nodes;
+    ticks = 8;
+    seed = 42;
+    quorum = Some 7;
+    target_nines = 5.;
+  }
+
+let parse_ok body =
+  match Service.Wire.parse_request body with
+  | Ok r -> r
+  | Error (_, code, msg) ->
+      Alcotest.failf "parse failed: %s (%s)" (Service.Wire.code_string code) msg
+
+let test_wire_roundtrip () =
+  let q = Service.Wire.Fleet_recommend (fleet_params 9) in
+  let r = parse_ok (Service.Wire.encode_request { Service.Wire.id = 5; query = q }) in
+  Alcotest.(check int) "id" 5 r.Service.Wire.id;
+  Alcotest.(check string) "canonical key survives the round-trip"
+    (Service.Wire.canonical_key q)
+    (Service.Wire.canonical_key r.Service.Wire.query);
+  Alcotest.(check bool) "fleet queries are cacheable" true
+    (Service.Wire.cacheable q)
+
+let test_wire_normalizes () =
+  (* Spelled-out defaults and the bare minimum must share a cache key;
+     an explicit majority quorum normalizes away. *)
+  let minimal =
+    parse_ok {|{"v": 3, "id": 0, "kind": "fleet_recommend", "params": {"nodes": 9}}|}
+  in
+  let spelled =
+    parse_ok
+      {|{"v": 3, "id": 0, "kind": "fleet_recommend", "params": {"nodes": 9, "ticks": 26, "seed": 42, "quorum": 5, "target_nines": 3}}|}
+  in
+  Alcotest.(check string) "defaults normalize to one key"
+    (Service.Wire.canonical_key minimal.Service.Wire.query)
+    (Service.Wire.canonical_key spelled.Service.Wire.query)
+
+let test_wire_bounds () =
+  let reject params =
+    match
+      Service.Wire.parse_request
+        (Printf.sprintf
+           {|{"v": 3, "id": 0, "kind": "fleet_ingest", "params": %s}|} params)
+    with
+    | Error (_, Service.Wire.Bad_request, _) -> ()
+    | Ok _ -> Alcotest.failf "params %s accepted" params
+    | Error (_, code, msg) ->
+        Alcotest.failf "params %s: wrong error %s (%s)" params
+          (Service.Wire.code_string code) msg
+  in
+  reject {|{}|};
+  reject {|{"nodes": 0}|};
+  reject
+    (Printf.sprintf {|{"nodes": %d}|} (Service.Wire.max_fleet_ctrl_nodes + 1));
+  reject
+    (Printf.sprintf {|{"nodes": 9, "ticks": %d}|}
+       (Service.Wire.max_fleet_ticks + 1));
+  reject {|{"nodes": 9, "quorum": 10}|};
+  reject {|{"nodes": 9, "target_nines": 13}|}
+
+(* --- Router and e2e byte identity ------------------------------------ *)
+
+let router_payload query =
+  match Service.Router.handle query with
+  | Ok payload -> Obs.Json.to_string payload
+  | Error (code, msg) ->
+      Alcotest.failf "router failed: %s (%s)" (Service.Wire.code_string code) msg
+
+let test_router_matches_controller () =
+  (* The wire handler and the CLI's --json path must render the same
+     bytes from the same parameters — one canonical payload. *)
+  let direct = payload_bytes (Controller.run (tight_case ())) in
+  Alcotest.(check string) "router == controller renderer" direct
+    (router_payload (Service.Wire.Fleet_recommend (fleet_params 9)));
+  let ingest =
+    Obs.Json.to_string (Controller.ingest_payload (Controller.run (tight_case ())))
+  in
+  Alcotest.(check string) "ingest payload matches too" ingest
+    (router_payload (Service.Wire.Fleet_ingest (fleet_params 9)))
+
+let test_e2e_both_framings () =
+  with_watchdog (fun () ->
+      let socket = temp_socket () in
+      let server =
+        Service.Server.start
+          {
+            Service.Server.default_config with
+            Service.Server.socket_path = Some socket;
+            workers = 2;
+            queue_depth = 32;
+            cache_capacity = 64;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Service.Server.stop server)
+        (fun () ->
+          let fetch wire query =
+            let c =
+              Service.Client.connect ~wire ~retry_for:5.
+                (Service.Client.Unix_path socket)
+            in
+            Fun.protect
+              ~finally:(fun () -> Service.Client.close c)
+              (fun () ->
+                match
+                  Service.Client.call_line c ~id:3
+                    (Service.Wire.encode_request ~v:wire
+                       { Service.Wire.id = 3; query })
+                with
+                | Ok reply -> reply
+                | Error (code, msg) ->
+                    Alcotest.failf "wire/%d fleet call failed: %s (%s)" wire
+                      (Service.Wire.code_string code) msg)
+          in
+          let q = Service.Wire.Fleet_recommend (fleet_params 9) in
+          let r2 = fetch 2 q and r3 = fetch 3 q in
+          Alcotest.(check string) "wire/2 body == wire/3 body" r3 r2;
+          (* The served payload is byte-for-byte the CLI's --json
+             output for the same parameters. *)
+          let served = Service.Wire.encode_ok ~id:3 ~payload:(payload_bytes (Controller.run (tight_case ()))) in
+          Alcotest.(check string) "served bytes == canonical payload" served r3))
+
+(* --- DST system ------------------------------------------------------ *)
+
+let test_dst_fleet_soak () =
+  match
+    Dst.Harness.soak (Dst.Fleet_case.system ()) ~seed:2025 ~episodes:8
+  with
+  | Dst.Harness.All_passed { episodes } ->
+      Alcotest.(check int) "all episodes ran" 8 episodes
+  | Dst.Harness.Found { failure; _ } ->
+      Alcotest.failf "fleet invariant %S violated: %s"
+        failure.Dst.Harness.invariant failure.Dst.Harness.detail
+
+let test_dst_fleet_codec () =
+  let sys = Dst.Fleet_case.system () in
+  let rng = Prob.Rng.of_pair 99 0 in
+  for _ = 1 to 20 do
+    let case = sys.Dst.Harness.generate rng in
+    match sys.Dst.Harness.decode (sys.Dst.Harness.encode case) with
+    | Ok back ->
+        if back <> case then Alcotest.fail "decode . encode is not the identity"
+    | Error msg -> Alcotest.failf "generated case does not decode: %s" msg
+  done
+
+let test_dst_fleet_registered () =
+  Alcotest.(check bool) "fleet is a registry name" true
+    (List.mem "fleet" Dst.Registry.names);
+  match Dst.Registry.find "fleet" with
+  | Ok (Dst.Registry.Packed sys) ->
+      Alcotest.(check string) "system tag" "fleet" sys.Dst.Harness.name
+  | Error msg -> Alcotest.fail msg
+
+(* --- Bench ----------------------------------------------------------- *)
+
+let test_bench_rows () =
+  let rows = Bench.run ~seed:7 ~sizes:[ 300 ] () in
+  Alcotest.(check int) "two rows per size" 2 (List.length rows);
+  let inc = List.nth rows 0 and full = List.nth rows 1 in
+  Alcotest.(check string) "incremental first" "incremental-update"
+    inc.Bench.kernel;
+  Alcotest.(check string) "recompute second" "full-recompute" full.Bench.kernel;
+  Alcotest.(check int) "window length" (Bench.ops_for 300) inc.Bench.ops;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "positive timing" true
+        (Float.is_finite r.Bench.ns_per_op && r.Bench.ns_per_op > 0.))
+    rows;
+  (* Even at 300 nodes the O(n) update beats the O(n^2) recompute —
+     the committed artifact's 10x floor at n >= 10^4 has huge margin,
+     so a modest 2x floor here keeps the test robust on slow CI. *)
+  Alcotest.(check bool) "incremental faster" true
+    (full.Bench.ns_per_op > 2. *. inc.Bench.ns_per_op);
+  match Bench.to_json ~seed:7 rows with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema tag" true
+        (List.assoc_opt "schema" fields
+        = Some (Obs.Json.String "probcons-fleet-bench/1"))
+  | _ -> Alcotest.fail "bench artifact must be an object"
+
+let suite =
+  [
+    Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+    Alcotest.test_case "stream drift and replace" `Quick
+      test_stream_drift_and_replace;
+    Alcotest.test_case "controller deterministic" `Quick
+      test_controller_deterministic;
+    Alcotest.test_case "controller recommends" `Quick test_controller_recommends;
+    Alcotest.test_case "controller divergence bounded" `Quick
+      test_controller_divergence_bounded;
+    Alcotest.test_case "controller validates config" `Quick
+      test_controller_validates;
+    Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire normalizes defaults" `Quick test_wire_normalizes;
+    Alcotest.test_case "wire bounds" `Quick test_wire_bounds;
+    Alcotest.test_case "router matches controller" `Quick
+      test_router_matches_controller;
+    Alcotest.test_case "e2e both framings byte-identical" `Quick
+      test_e2e_both_framings;
+    Alcotest.test_case "dst fleet soak" `Quick test_dst_fleet_soak;
+    Alcotest.test_case "dst fleet codec" `Quick test_dst_fleet_codec;
+    Alcotest.test_case "dst fleet registered" `Quick test_dst_fleet_registered;
+    Alcotest.test_case "bench rows" `Quick test_bench_rows;
+  ]

@@ -23,4 +23,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
       ("dst", Test_dst.suite);
+      ("fleet", Test_fleet.suite);
     ]

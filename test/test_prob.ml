@@ -443,6 +443,140 @@ let test_estimate_bool_converges () =
   Alcotest.(check bool) "CI covers truth" true (Montecarlo.within e 0.3);
   Alcotest.(check int) "trials recorded" 50_000 e.Montecarlo.trials
 
+(* --- Incremental Poisson binomial ---------------------------------- *)
+
+let sup_distance a b =
+  let worst = ref 0. in
+  Array.iteri (fun i x -> worst := Float.max !worst (Float.abs (x -. b.(i)))) a;
+  !worst
+
+(* Factor generator that lands exactly on 0 and 1 often enough to
+   exercise the degenerate divide-out paths, and hugs 0.5 (the worst
+   conditioning for the recurrence) some of the time. *)
+let gen_factor =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, return 0.);
+        (2, return 1.);
+        (3, float_range 0.45 0.55);
+        (10, float_bound_inclusive 1.);
+      ])
+
+let gen_incremental_case =
+  QCheck.Gen.(
+    int_range 1 40 >>= fun n ->
+    array_repeat n gen_factor >>= fun probs ->
+    list_size (int_range 0 30) (pair (int_range 0 (n - 1)) gen_factor)
+    >>= fun updates -> return (probs, updates))
+
+let arb_incremental_case =
+  QCheck.make gen_incremental_case
+    ~print:(fun (probs, updates) ->
+      Printf.sprintf "probs=[%s] updates=[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_float probs)))
+        (String.concat ";"
+           (List.map (fun (i, p) -> Printf.sprintf "(%d,%f)" i p) updates)))
+
+let prop_incremental_matches_scratch =
+  QCheck.Test.make ~count:300
+    ~name:"incremental updates match from-scratch DP to 1e-12"
+    arb_incremental_case
+    (fun (probs, updates) ->
+      (* A drift bound below the tolerance makes the 1e-12 agreement a
+         contract the engine must keep by refreshing, not luck. *)
+      let t = Incremental.create ~drift_bound:1e-13 probs in
+      List.iter (fun (i, p) -> Incremental.update t i p) updates;
+      let scratch = Poisson_binomial.pmf (Incremental.probs t) in
+      sup_distance (Incremental.pmf t) scratch <= 1e-12
+      && Incremental.sup_distance_from_scratch t
+         <= Incremental.drift_bound t +. 1e-13)
+
+let prop_incremental_inverse_law =
+  (* Divide-out then multiply-in of the same factor is the identity:
+     perturbing factor i and restoring its original value must land
+     back on the original distribution. *)
+  QCheck.Test.make ~count:300 ~name:"divide-out/multiply-in inverse law"
+    QCheck.(
+      make
+        Gen.(
+          int_range 1 40 >>= fun n ->
+          array_repeat n gen_factor >>= fun probs ->
+          int_range 0 (n - 1) >>= fun i ->
+          gen_factor >>= fun p -> return (probs, i, p)))
+    (fun (probs, i, p) ->
+      let t = Incremental.create ~drift_bound:1e-13 probs in
+      let before = Incremental.pmf t in
+      let original = Incremental.prob t i in
+      Incremental.update t i p;
+      Incremental.update t i original;
+      sup_distance (Incremental.pmf t) before <= 1e-12)
+
+let test_incremental_edge_factors () =
+  (* Dead (p=1) and perfect (p=0) factors take the shift paths in the
+     divide-out; toggling across them must stay exact. *)
+  let t = Incremental.create [| 0.; 1.; 0.3; 1.; 0. |] in
+  Alcotest.(check (float 0.)) "two certain failures" 0. (Incremental.cdf_le t 1);
+  Incremental.update t 1 0.;
+  Incremental.update t 3 0.25;
+  Incremental.update t 0 1.;
+  Incremental.update t 4 0.5;
+  let scratch = Poisson_binomial.pmf (Incremental.probs t) in
+  Alcotest.(check bool) "matches scratch after 0/1 toggles" true
+    (sup_distance (Incremental.pmf t) scratch <= 1e-12);
+  check_float ~eps:1e-12 "expectation" (1. +. 0.3 +. 0.25 +. 0.5)
+    (Incremental.expectation t)
+
+let test_incremental_forced_refresh () =
+  (* drift_bound = 0 forces a full-DP refresh after every effective
+     update; the refreshed state must equal a fresh create. *)
+  let rng = Rng.create 11 in
+  let probs = Array.init 25 (fun _ -> Rng.float rng) in
+  let t = Incremental.create ~drift_bound:0. probs in
+  for _ = 1 to 40 do
+    Incremental.update t (Rng.int rng 25) (Rng.float rng)
+  done;
+  Alcotest.(check int) "every update refreshed" (Incremental.update_count t)
+    (Incremental.refresh_count t);
+  check_float ~eps:0. "drift reset" 0. (Incremental.drift t);
+  let fresh = Incremental.create (Incremental.probs t) in
+  check_float ~eps:0. "refreshed state equals fresh create" 0.
+    (sup_distance (Incremental.pmf t) (Incremental.pmf fresh))
+
+let test_incremental_drift_accounting () =
+  let t = Incremental.create (Array.make 10 0.2) in
+  check_float ~eps:0. "starts clean" 0. (Incremental.drift t);
+  Incremental.update t 0 0.4;
+  Alcotest.(check bool) "update accrues drift" true (Incremental.drift t > 0.);
+  Incremental.update t 0 0.4;
+  Alcotest.(check int) "no-op update skipped" 1 (Incremental.update_count t);
+  let before = Incremental.drift t in
+  Incremental.update_batch t [ (1, 0.9); (2, 0.); (3, 1.) ];
+  Alcotest.(check int) "batch counted" 4 (Incremental.update_count t);
+  Alcotest.(check bool) "batch accrues drift" true (Incremental.drift t > before);
+  Incremental.refresh t;
+  check_float ~eps:0. "refresh resets drift" 0. (Incremental.drift t);
+  Alcotest.(check int) "refresh counted" 1 (Incremental.refresh_count t);
+  check_float ~eps:0. "divergence after refresh" 0.
+    (Incremental.sup_distance_from_scratch t)
+
+let test_incremental_queries_match_reference () =
+  let probs = [| 0.1; 0.5; 0.9; 0.02; 0.7 |] in
+  let t = Incremental.create probs in
+  for k = 0 to 5 do
+    check_float ~eps:1e-14
+      (Printf.sprintf "cdf_le %d" k)
+      (Poisson_binomial.cdf_le probs k)
+      (Incremental.cdf_le t k);
+    check_float ~eps:1e-14
+      (Printf.sprintf "tail_ge %d" k)
+      (Poisson_binomial.tail_ge probs k)
+      (Incremental.tail_ge t k)
+  done;
+  check_float ~eps:1e-14 "expectation"
+    (Poisson_binomial.expectation probs)
+    (Incremental.expectation t)
+
 let suite =
   [
     Alcotest.test_case "kahan pathological" `Slow test_kahan_pathological;
@@ -497,4 +631,10 @@ let suite =
     Alcotest.test_case "wilson interval" `Quick test_wilson_interval_contains_phat;
     Alcotest.test_case "wilson edges" `Quick test_wilson_edges;
     Alcotest.test_case "estimate_bool converges" `Slow test_estimate_bool_converges;
+    QCheck_alcotest.to_alcotest prop_incremental_matches_scratch;
+    QCheck_alcotest.to_alcotest prop_incremental_inverse_law;
+    Alcotest.test_case "incremental edge factors" `Quick test_incremental_edge_factors;
+    Alcotest.test_case "incremental forced refresh" `Quick test_incremental_forced_refresh;
+    Alcotest.test_case "incremental drift accounting" `Quick test_incremental_drift_accounting;
+    Alcotest.test_case "incremental queries" `Quick test_incremental_queries_match_reference;
   ]

@@ -145,6 +145,75 @@ let test_availability_parallel_bit_stable () =
   Alcotest.(check bool) "bit-identical" true (Float.equal seq par);
   Alcotest.(check bool) "in (0,1)" true (seq > 0. && seq < 1.)
 
+let prop_weighted_dp_matches_enumeration =
+  (* Cross-validation of the O(n*W) weight DP (the auto-selected path
+     above [auto_exact_max] nodes) against exact 2^n enumeration at
+     n <= 20, where enumeration is cheap and authoritative. *)
+  QCheck.Test.make ~count:100 ~name:"weighted DP availability = exact enumeration"
+    QCheck.(
+      make
+        Gen.(
+          int_range 2 20 >>= fun n ->
+          array_repeat n (int_range 1 5) >>= fun weights ->
+          let total = Array.fold_left ( + ) 0 weights in
+          int_range 1 total >>= fun threshold ->
+          array_repeat n (float_bound_inclusive 1.) >>= fun probs ->
+          return (weights, threshold, probs)))
+    (fun (weights, threshold, probs) ->
+      let qs = Quorum_system.Weighted { weights; threshold } in
+      let dp = Quorum_system.weighted_dp ~weights ~threshold probs in
+      let enum = Quorum_system.availability ~exact:true qs probs in
+      Float.abs (dp -. enum) <= 1e-12)
+
+let test_weighted_auto_selects_dp () =
+  (* Above the node-count threshold the default path is the DP; one
+     fixed case checks it against exact enumeration end to end. *)
+  let n = 22 in
+  let weights = Array.init n (fun i -> 1 + (i mod 4)) in
+  let threshold = Array.fold_left ( + ) 0 weights / 2 in
+  let probs = Array.init n (fun i -> 0.01 +. (0.01 *. float_of_int (i mod 7))) in
+  let qs = Quorum_system.Weighted { weights; threshold } in
+  let auto = Quorum_system.availability qs probs in
+  let exact = Quorum_system.availability ~exact:true qs probs in
+  check_float ~eps:1e-12 "auto (DP) = exact" exact auto
+
+let prop_threshold_exact_matches_dp =
+  QCheck.Test.make ~count:100 ~name:"threshold exact enumeration = count DP"
+    QCheck.(
+      make
+        Gen.(
+          int_range 1 20 >>= fun n ->
+          int_range 1 n >>= fun k ->
+          array_repeat n (float_bound_inclusive 1.) >>= fun probs ->
+          return (n, k, probs)))
+    (fun (n, k, probs) ->
+      let qs = Quorum_system.Threshold { n; k } in
+      let dp = Quorum_system.availability qs probs in
+      let enum = Quorum_system.availability ~exact:true qs probs in
+      Float.abs (dp -. enum) <= 1e-12)
+
+let test_weighted_dp_above_enumeration_cap () =
+  (* n = 40 is far beyond 2^n enumeration; the DP must still answer,
+     and degenerate thresholds must hit the closed-form edges. *)
+  let weights = Array.make 40 1 in
+  let probs = Array.make 40 0.05 in
+  let qs = Quorum_system.Weighted { weights; threshold = 21 } in
+  let dp = Quorum_system.availability qs probs in
+  (* Unit weights reduce to a 21-of-40 threshold system. *)
+  let threshold =
+    Quorum_system.availability (Quorum_system.Threshold { n = 40; k = 21 }) probs
+  in
+  check_float ~eps:1e-12 "unit weights = threshold" threshold dp;
+  check_float ~eps:1e-12 "threshold 0 always live" 1.
+    (Quorum_system.availability
+       (Quorum_system.Weighted { weights; threshold = 0 })
+       probs);
+  Alcotest.check_raises "exact past cap rejected"
+    (Invalid_argument
+       "Quorum_system.availability: universe too large for enumeration")
+    (fun () ->
+      ignore (Quorum_system.availability ~exact:true qs probs))
+
 let test_availability_grid_vs_montecarlo () =
   let qs = Quorum_system.Grid { rows = 2; cols = 2 } in
   let p = 0.2 in
@@ -379,6 +448,11 @@ let suite =
     Alcotest.test_case "availability grid vs MC" `Slow test_availability_grid_vs_montecarlo;
     Alcotest.test_case "availability parallel bit-stable" `Quick
       test_availability_parallel_bit_stable;
+    QCheck_alcotest.to_alcotest prop_weighted_dp_matches_enumeration;
+    QCheck_alcotest.to_alcotest prop_threshold_exact_matches_dp;
+    Alcotest.test_case "weighted auto selects DP" `Quick test_weighted_auto_selects_dp;
+    Alcotest.test_case "weighted DP beyond enumeration cap" `Quick
+      test_weighted_dp_above_enumeration_cap;
     Alcotest.test_case "wheel system" `Quick test_wheel_system;
     Alcotest.test_case "uniform strategy load" `Quick test_uniform_strategy_load;
     QCheck_alcotest.to_alcotest prop_threshold_availability_monotone_in_p;

@@ -17,6 +17,10 @@
    - probcons-repro/1    the DST harness's minimal-reproduction
      artifact: seeds, system tag, scenario, fault plan, op trace,
      violated invariant, expectation, shrink statistics
+   - probcons-fleet-bench/1  the incremental Poisson-binomial engine's
+     update-vs-recompute comparison: paired rows per fleet size, and at
+     every size >= 10^4 the incremental kernel must beat the full
+     recompute by at least 10x
 
    CI runs this against each before archiving; a non-zero exit fails
    the workflow rather than shipping a malformed artifact. *)
@@ -300,6 +304,93 @@ let validate_repro path doc =
         r.Dst.Repro.original_units r.Dst.Repro.shrunk_units
         r.Dst.Repro.shrink_attempts
 
+(* --- probcons-fleet-bench/1 ---------------------------------------------- *)
+
+(* Paired rows per fleet size: an "incremental-update" row (sustained
+   O(n) engine updates, drift refreshes included and counted) and a
+   "full-recompute" row (from-scratch O(n^2) DP). The artifact is a
+   performance claim — the whole point of the incremental engine — so
+   the claim is checked: at every size >= 10^4 the incremental kernel
+   must be at least 10x faster per operation. *)
+let fleet_speedup_floor = 10.
+let fleet_speedup_min_n = 10_000
+
+let validate_fleet_bench path doc =
+  (match num "drift_bound" doc with
+  | Some v when Float.is_finite v && v >= 0. -> ()
+  | Some v -> fail "drift_bound not finite and non-negative (%g)" v
+  | None -> fail "missing numeric drift_bound");
+  let rows =
+    match Option.bind (Obs.Json.member "rows" doc) Obs.Json.to_list with
+    | Some [] -> fail "rows is empty"
+    | Some rows -> rows
+    | None -> fail "missing rows list"
+  in
+  let per_size = Hashtbl.create 8 in
+  List.iteri
+    (fun i row ->
+      let n =
+        match int_field "n" row with
+        | Some n when n >= 1 -> n
+        | Some n -> fail "row %d: n must be positive, got %d" i n
+        | None -> fail "row %d: missing integer n" i
+      in
+      let kernel =
+        match str "kernel" row with
+        | Some ("incremental-update" | "full-recompute") as k -> Option.get k
+        | Some other -> fail "row %d: unknown kernel %S" i other
+        | None -> fail "row %d: missing kernel" i
+      in
+      (match int_field "ops" row with
+      | Some ops when ops >= 1 -> ()
+      | _ -> fail "row %d: ops must be a positive integer" i);
+      (match int_field "refreshes" row with
+      | Some r when r >= 0 -> ()
+      | _ -> fail "row %d: refreshes must be a non-negative integer" i);
+      let ns =
+        match num "ns_per_op" row with
+        | Some v when Float.is_finite v && v > 0. -> v
+        | Some v -> fail "row %d: ns_per_op not finite and positive (%g)" i v
+        | None -> fail "row %d: missing numeric ns_per_op" i
+      in
+      (match num "ops_per_sec" row with
+      | Some v when Float.is_finite v && v > 0. -> ()
+      | Some v -> fail "row %d: ops_per_sec not finite and positive (%g)" i v
+      | None -> fail "row %d: missing numeric ops_per_sec" i);
+      if Hashtbl.mem per_size (n, kernel) then
+        fail "row %d: duplicate (%d, %s) row" i n kernel;
+      Hashtbl.replace per_size (n, kernel) ns)
+    rows;
+  let sizes =
+    Hashtbl.fold (fun (n, _) _ acc -> if List.mem n acc then acc else n :: acc)
+      per_size []
+    |> List.sort compare
+  in
+  let checked =
+    List.map
+      (fun n ->
+        let lookup kernel =
+          match Hashtbl.find_opt per_size (n, kernel) with
+          | Some ns -> ns
+          | None -> fail "n=%d: missing %S row" n kernel
+        in
+        let inc = lookup "incremental-update" in
+        let full = lookup "full-recompute" in
+        let speedup = full /. inc in
+        if n >= fleet_speedup_min_n && speedup < fleet_speedup_floor then
+          fail
+            "n=%d: incremental (%.0f ns/op) is only %.1fx the full recompute \
+             (%.0f ns/op); the floor is %.0fx"
+            n inc speedup full fleet_speedup_floor;
+        (n, speedup))
+      sizes
+  in
+  Printf.printf "%s: OK (fleet bench, %d sizes: %s)\n" path (List.length sizes)
+    (String.concat ", "
+       (List.map
+          (fun (n, s) -> Printf.sprintf "n=%d %.0fx" n s)
+          checked))
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
@@ -323,5 +414,6 @@ let () =
   | Some "probcons-chaos/1" -> validate_chaos path doc
   | Some "probcons-service-bench/1" -> validate_service_bench path doc
   | Some "probcons-repro/1" -> validate_repro path doc
+  | Some "probcons-fleet-bench/1" -> validate_fleet_bench path doc
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "missing schema tag"
