@@ -165,7 +165,31 @@ let analyze_cmd =
              DP/convolution selection (tops out around N=24; the \
              cross-validation override for the fast paths).")
   in
-  let run proto n p mix byz_fraction quorums seed scenario_file json exact () =
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"HOURS"
+          ~doc:
+            "Analyze the availability trajectory over $(docv) of mission \
+             time instead of a single instant — the view that makes \
+             time-varying failure processes (curves, Markov on/off) \
+             visible. Renders the canonical trajectory payload with \
+             $(b,--json).")
+  in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            (Printf.sprintf
+               "Trajectory resolution: evaluate $(docv) evenly spaced rounds \
+                across --horizon (default %d, max %d)."
+               Probcons.Scenario.default_rounds Probcons.Scenario.max_rounds))
+  in
+  let run proto n p mix byz_fraction quorums seed scenario_file horizon rounds
+      json exact () =
     let scenario =
       match scenario_file with
       | Some path -> read_scenario_file path
@@ -178,6 +202,13 @@ let analyze_cmd =
           | Ok s -> s
           | Error msg -> die "%s" msg)
     in
+    let scenario =
+      match horizon with
+      | Some h -> Probcons.Scenario.with_horizon ?rounds h scenario
+      | None when rounds <> None && Probcons.Scenario.horizon scenario = None ->
+          die "--rounds only makes sense with --horizon"
+      | None -> scenario
+    in
     let strategy =
       if exact then Some Probcons.Analysis.Enumeration else None
     in
@@ -186,20 +217,46 @@ let analyze_cmd =
       | Ok payload -> print_endline (Obs.Json.to_string payload)
       | Error msg -> die "%s" msg
     else
-      match Probcons.Registry.analyze ?strategy scenario with
-      | Error msg -> die "%s" msg
-      | Ok result ->
-          Format.printf "%a@." Probcons.Analysis.pp_result result;
-          Format.printf "nines: safe %.2f, live %.2f, safe&live %.2f@."
-            (Prob.Nines.of_prob result.Probcons.Analysis.p_safe)
-            (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
-            (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live)
+      match Probcons.Scenario.horizon scenario with
+      | Some h -> (
+          match Probcons.Registry.analyze_horizon ?strategy scenario with
+          | Error msg -> die "%s" msg
+          | Ok points ->
+              Format.printf "trajectory over %g hours (%d rounds):@." h
+                (List.length points);
+              Format.printf "  %10s  %12s  %12s  %12s@." "at (h)" "p_safe"
+                "p_live" "p_safe_live";
+              List.iter
+                (fun { Probcons.Analysis.at; result } ->
+                  Format.printf "  %10.1f  %12.9f  %12.9f  %12.9f@." at
+                    result.Probcons.Analysis.p_safe
+                    result.Probcons.Analysis.p_live
+                    result.Probcons.Analysis.p_safe_live)
+                points;
+              let min_p_live =
+                List.fold_left
+                  (fun acc { Probcons.Analysis.result; _ } ->
+                    Float.min acc result.Probcons.Analysis.p_live)
+                  1. points
+              in
+              Format.printf "min p_live: %.9f (%.2f nines)@." min_p_live
+                (Prob.Nines.of_prob min_p_live))
+      | None -> (
+          match Probcons.Registry.analyze ?strategy scenario with
+          | Error msg -> die "%s" msg
+          | Ok result ->
+              Format.printf "%a@." Probcons.Analysis.pp_result result;
+              Format.printf "nines: safe %.2f, live %.2f, safe&live %.2f@."
+                (Prob.Nines.of_prob result.Probcons.Analysis.p_safe)
+                (Prob.Nines.of_prob result.Probcons.Analysis.p_live)
+                (Prob.Nines.of_prob result.Probcons.Analysis.p_safe_live))
   in
   let term =
     with_metrics
       Term.(
         const run $ proto_name_arg $ n_arg $ p_arg $ mix_arg $ byz_fraction_arg
-        $ quorum_arg $ seed_opt_arg $ scenario_file_arg $ json_arg $ exact_arg)
+        $ quorum_arg $ seed_opt_arg $ scenario_file_arg $ horizon_arg
+        $ rounds_arg $ json_arg $ exact_arg)
   in
   Cmd.v
     (cmd_info "analyze"
@@ -1383,12 +1440,23 @@ let fleet_cmd =
         close_out oc;
         Format.printf "fleet bench artifact written to %s@." path
   in
-  let run nodes ticks seed quorum nines json bench sizes out () =
+  let dynamic_arg =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Time-varying ground truth: the telemetry stream runs per-node \
+             Markov degradation processes (nodes worsen and heal) and the \
+             swap policy weighs estimates by their confidence intervals.")
+  in
+  let run nodes ticks seed quorum nines dynamic json bench sizes out () =
     if bench then run_bench seed sizes out
     else begin
       if nodes <= 0 then die "fleet: --nodes must be positive";
       if ticks < 0 then die "fleet: --ticks must be non-negative";
-      let cfg = Fleetctl.Controller.default_config ~seed ~ticks ~nodes () in
+      let cfg =
+        Fleetctl.Controller.default_config ~seed ~ticks ~dynamic ~nodes ()
+      in
       let cfg =
         {
           cfg with
@@ -1418,7 +1486,64 @@ let fleet_cmd =
     (with_metrics
        Term.(
          const run $ nodes_arg $ ticks_arg $ seed_arg $ quorum_arg
-         $ fleet_nines_arg $ json_arg $ bench_arg $ sizes_arg $ out_arg))
+         $ fleet_nines_arg $ dynamic_arg $ json_arg $ bench_arg $ sizes_arg
+         $ out_arg))
+
+(* --- dynbench ------------------------------------------------------ *)
+
+let dynbench_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 100; 400; 1_000 ]
+      & info [ "sizes" ] ~docv:"N1,N2,..." ~doc:"Fleet sizes to bench.")
+  in
+  let rounds_arg =
+    Arg.(
+      value
+      & opt int Fleetctl.Dynbench.default_rounds
+      & info [ "rounds" ] ~docv:"R" ~doc:"Trajectory rounds per run.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the probcons-dynamic-bench/1 artifact to $(docv).")
+  in
+  let run seed sizes rounds out () =
+    List.iter
+      (fun n -> if n <= 0 then die "dynbench: sizes must be positive")
+      sizes;
+    if rounds < 1 then die "dynbench: --rounds must be positive";
+    let rows = Fleetctl.Dynbench.run ~seed ~rounds ~sizes () in
+    Format.printf "%10s  %-20s  %7s  %12s  %12s  %10s@." "n" "kernel" "rounds"
+      "ms/round" "rounds/s" "max_diff";
+    List.iter
+      (fun r ->
+        Format.printf "%10d  %-20s  %7d  %12.3f  %12.2f  %10.2e@."
+          r.Fleetctl.Dynbench.n r.Fleetctl.Dynbench.kernel
+          r.Fleetctl.Dynbench.rounds r.Fleetctl.Dynbench.ms_per_round
+          r.Fleetctl.Dynbench.rounds_per_sec r.Fleetctl.Dynbench.max_diff)
+      rows;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Json.to_string (Fleetctl.Dynbench.to_json ~seed rows));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "dynamic bench artifact written to %s@." path
+  in
+  Cmd.v
+    (cmd_info "dynbench"
+       ~doc:
+         "Benchmark horizon-trajectory analysis: per-round exact recomputes \
+          vs the incremental Poisson-binomial engine over a mostly-static \
+          fleet with a Markov-process minority.")
+    (with_metrics
+       Term.(const run $ seed_arg $ sizes_arg $ rounds_arg $ out_arg))
 
 let version_cmd =
   let run () =
@@ -1438,7 +1563,7 @@ let main_cmd =
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
       bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
-      dst_cmd; servebench_cmd; fleet_cmd; version_cmd;
+      dst_cmd; servebench_cmd; fleet_cmd; dynbench_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -188,15 +188,15 @@ let run_monte_carlo ?domains (protocol : Protocol.t) ~crash_probs ~byz_probs
   let engine = engine_tag ~workers (Printf.sprintf "monte-carlo(%d)" trials) in
   mc_result protocol ~engine ~trials hits
 
-let run ?at ?(strategy = Auto) ?(seed = 42) ?domains (protocol : Protocol.t) fleet =
-  let n = Faultmodel.Fleet.size fleet in
-  if n <> protocol.n then
-    invalid_arg
-      (Printf.sprintf "Analysis.run: fleet size %d but protocol expects %d" n
-         protocol.n);
+(* The one strategy dispatch, shared by [run] (which derives the
+   probability vectors from a fleet) and [run_horizon] (which re-enters
+   it per round on marginals it controls) — so a horizon point computed
+   "the exact way" is bit-identical to a standalone [run] at that
+   mission time. *)
+let run_on_probs ?(strategy = Auto) ?(seed = 42) ?domains
+    (protocol : Protocol.t) ~crash_probs ~byz_probs =
   Obs.Metrics.incr m_runs;
-  let crash_probs = Faultmodel.Fleet.crash_probs ?at fleet in
-  let byz_probs = Faultmodel.Fleet.byz_probs ?at fleet in
+  let n = Array.length crash_probs in
   let has_counts =
     protocol.safe.by_count <> None && protocol.live.by_count <> None
   in
@@ -214,6 +214,117 @@ let run ?at ?(strategy = Auto) ?(seed = 42) ?domains (protocol : Protocol.t) fle
       else
         run_monte_carlo ?domains protocol ~crash_probs ~byz_probs ~trials:200_000
           ~seed
+
+let run ?at ?strategy ?seed ?domains (protocol : Protocol.t) fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  if n <> protocol.n then
+    invalid_arg
+      (Printf.sprintf "Analysis.run: fleet size %d but protocol expects %d" n
+         protocol.n);
+  let crash_probs = Faultmodel.Fleet.crash_probs ?at fleet in
+  let byz_probs = Faultmodel.Fleet.byz_probs ?at fleet in
+  run_on_probs ?strategy ?seed ?domains protocol ~crash_probs ~byz_probs
+
+(* --- Horizon trajectories ---------------------------------------------- *)
+
+type horizon_point = { at : float; result : result }
+
+let horizon_times ~horizon ~rounds =
+  if rounds < 1 then invalid_arg "Analysis.horizon_times: rounds must be >= 1";
+  if not (Float.is_finite horizon) || horizon <= 0. then
+    invalid_arg "Analysis.horizon_times: horizon must be positive and finite";
+  List.init rounds (fun k ->
+      horizon *. float_of_int (k + 1) /. float_of_int rounds)
+
+(* Sum the count distribution under the protocol's count predicates
+   (byz fixed at 0), mass-normalized exactly like [run_count_dp]. *)
+let result_of_pmf (protocol : Protocol.t) ~engine dist =
+  let safe_count, live_count =
+    match (protocol.safe.by_count, protocol.live.by_count) with
+    | Some s, Some l -> (s, l)
+    | _ -> invalid_arg "Analysis: count engine needs count predicates"
+  in
+  let open Prob.Math_utils in
+  let p_safe = ref kahan_zero
+  and p_live = ref kahan_zero
+  and p_both = ref kahan_zero
+  and mass = ref kahan_zero in
+  Array.iteri
+    (fun c p ->
+      if p > 0. then begin
+        mass := kahan_add !mass p;
+        let safe = safe_count ~byz:0 ~crashed:c in
+        let live = live_count ~byz:0 ~crashed:c in
+        if safe then p_safe := kahan_add !p_safe p;
+        if live then p_live := kahan_add !p_live p;
+        if safe && live then p_both := kahan_add !p_both p
+      end)
+    dist;
+  let mass = kahan_total !mass in
+  let normalize k =
+    let p = kahan_total k in
+    if mass > 0. then p /. mass else p
+  in
+  no_ci protocol.name ~engine ~p_safe:(normalize !p_safe)
+    ~p_live:(normalize !p_live) ~p_safe_live:(normalize !p_both)
+
+let run_horizon ?(strategy = Auto) ?seed ?domains ~times (protocol : Protocol.t)
+    fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  if n <> protocol.n then
+    invalid_arg
+      (Printf.sprintf "Analysis.run_horizon: fleet size %d but protocol expects %d"
+         n protocol.n);
+  let has_counts =
+    protocol.safe.by_count <> None && protocol.live.by_count <> None
+  in
+  let all_zero a = Array.for_all (fun p -> p = 0.) a in
+  (* Incremental fast path: under Auto with count predicates and no
+     Byzantine mass, later rounds reuse the previous round's
+     Poisson-binomial distribution via O(n)-per-changed-node
+     divide-out/multiply-in (PR 8) instead of the O(n^2) scratch DP.
+     Round one is always computed by the exact shared dispatch, so a
+     [Static]-only trajectory is bit-identical to [Analysis.run] at
+     every round (the marginals never change and every round reuses the
+     round-one result verbatim). *)
+  let engine = ref None in
+  let prev : (float array * float array * result) option ref = ref None in
+  let exact ~crash_probs ~byz_probs =
+    engine := None;
+    run_on_probs ~strategy ?seed ?domains protocol ~crash_probs ~byz_probs
+  in
+  List.map
+    (fun at ->
+      let crash_probs = Faultmodel.Fleet.crash_probs ~at fleet in
+      let byz_probs = Faultmodel.Fleet.byz_probs ~at fleet in
+      let result =
+        match !prev with
+        | Some (pc, pb, r) when pc = crash_probs && pb = byz_probs -> r
+        | stale ->
+            let fast_ok =
+              strategy = Auto && has_counts && all_zero byz_probs
+              && stale <> None
+            in
+            if not fast_ok then exact ~crash_probs ~byz_probs
+            else begin
+              (match !engine with
+              | Some eng ->
+                  let updates = ref [] in
+                  Array.iteri
+                    (fun i p ->
+                      if Prob.Incremental.prob eng i <> p then
+                        updates := (i, p) :: !updates)
+                    crash_probs;
+                  Prob.Incremental.update_batch eng (List.rev !updates)
+              | None -> engine := Some (Prob.Incremental.create crash_probs));
+              let eng = Option.get !engine in
+              result_of_pmf protocol ~engine:"incremental-pb"
+                (Prob.Incremental.pmf eng)
+            end
+      in
+      prev := Some (crash_probs, byz_probs, result);
+      { at; result })
+    times
 
 let run_correlated ?at ?(trials = 200_000) ?(seed = 42) ?domains model
     (protocol : Protocol.t) fleet =

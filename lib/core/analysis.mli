@@ -57,6 +57,40 @@ val run :
     the fleet size does not match the protocol's [n], or when a forced
     strategy cannot handle the instance. *)
 
+(** {1 Horizon trajectories}
+
+    Dynamic failure processes make availability a function of mission
+    time; a horizon run evaluates the fleet's marginals round by round
+    and re-analyzes each round. *)
+
+type horizon_point = { at : float; result : result }
+
+val horizon_times : horizon:float -> rounds:int -> float list
+(** The [rounds] evaluation times [horizon * k / rounds], k = 1..rounds.
+    Raises [Invalid_argument] on a non-positive horizon or rounds. *)
+
+val run_horizon :
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?domains:int ->
+  times:float list ->
+  Protocol.t ->
+  Faultmodel.Fleet.t ->
+  horizon_point list
+(** Per-round availability trajectory: for each time in [times]
+    (ascending), evaluate the fleet's crash/Byzantine marginals at that
+    mission time and analyze them. The first round always goes through
+    the same strategy dispatch as {!run}, so it is bit-identical to
+    [run ~at]; a round whose marginals are unchanged from the previous
+    round reuses the previous result verbatim — in particular a fleet
+    of constant curves ([Static] processes) yields a trajectory of
+    results each bit-identical to [run]. Rounds whose marginals did
+    change take the incremental Poisson-binomial fast path (engine
+    ["incremental-pb"], O(n) per changed node, PR 8's
+    divide-out/multiply-in with its 1e-9 drift contract) when the
+    strategy is [Auto], both predicates have count forms and there is
+    no Byzantine mass; otherwise they recompute exactly. *)
+
 val run_correlated :
   ?at:float ->
   ?trials:int ->

@@ -12,6 +12,12 @@ module type Protocol_model = sig
     ?strategy:Analysis.strategy ->
     Scenario.t ->
     (Analysis.result, string) result
+
+  val analyze_horizon :
+    ?domains:int ->
+    ?strategy:Analysis.strategy ->
+    Scenario.t ->
+    (Analysis.horizon_point list, string) result
 end
 
 type entry = (module Protocol_model)
@@ -56,6 +62,22 @@ let run ~default_byz ?domains ?strategy s proto =
       Analysis.run ?at:(Scenario.at s) ?seed:(Scenario.seed s) ?strategy
         ?domains proto fleet)
 
+let horizon_spec s =
+  match Scenario.horizon s with
+  | Some h -> Ok (h, Option.value (Scenario.rounds s) ~default:Scenario.default_rounds)
+  | None -> Error "scenario has no horizon"
+
+let run_horizon ~default_byz ?domains ?strategy s proto =
+  let* h, rounds = horizon_spec s in
+  let byz_fraction =
+    Option.value (Scenario.byz_fraction s) ~default:default_byz
+  in
+  let fleet = Scenario.fleet ~byz_fraction s in
+  wrap (fun () ->
+      Analysis.run_horizon ?strategy ?seed:(Scenario.seed s) ?domains
+        ~times:(Analysis.horizon_times ~horizon:h ~rounds)
+        proto fleet)
+
 (* Builds a standard entry from its defaults plus a scenario-to-model
    function; the closed-over [protocol_of] already performs the
    model-specific parameter validation. *)
@@ -77,6 +99,10 @@ let model ~name ~doc ~byz ?(max_nodes = Scenario.max_fleet_nodes)
     let analyze ?domains ?strategy s =
       let* proto = protocol_of s in
       run ~default_byz:byz ?domains ?strategy s proto
+
+    let analyze_horizon ?domains ?strategy s =
+      let* proto = protocol_of s in
+      run_horizon ~default_byz:byz ?domains ?strategy s proto
   end)
 
 let raft =
@@ -180,11 +206,9 @@ let quorum_availability : entry =
 
     let validate s = Result.map ignore (check s)
 
-    let analyze ?domains ?strategy s =
-      let* n, k = check s in
-      let fleet = Scenario.fleet ~byz_fraction:default_byz_fraction s in
+    let result_at ?domains ?strategy ~n ~k fleet at =
       let probs =
-        match Scenario.at s with
+        match at with
         | None -> Faultmodel.Fleet.fault_probs fleet
         | Some at -> Faultmodel.Fleet.fault_probs ~at fleet
       in
@@ -196,17 +220,34 @@ let quorum_availability : entry =
           (Quorum.Quorum_system.Threshold { n; k })
           probs
       in
+      {
+        Analysis.protocol = Printf.sprintf "threshold(n=%d,k=%d)" n k;
+        p_safe = 1.0;
+        p_live = a;
+        p_safe_live = a;
+        engine = "quorum-availability";
+        ci_safe = None;
+        ci_live = None;
+        ci_safe_live = None;
+      }
+
+    let analyze ?domains ?strategy s =
+      let* n, k = check s in
+      let fleet = Scenario.fleet ~byz_fraction:default_byz_fraction s in
+      Ok (result_at ?domains ?strategy ~n ~k fleet (Scenario.at s))
+
+    let analyze_horizon ?domains ?strategy s =
+      let* n, k = check s in
+      let* h, rounds = horizon_spec s in
+      let fleet = Scenario.fleet ~byz_fraction:default_byz_fraction s in
       Ok
-        {
-          Analysis.protocol = Printf.sprintf "threshold(n=%d,k=%d)" n k;
-          p_safe = 1.0;
-          p_live = a;
-          p_safe_live = a;
-          engine = "quorum-availability";
-          ci_safe = None;
-          ci_live = None;
-          ci_safe_live = None;
-        }
+        (List.map
+           (fun at ->
+             {
+               Analysis.at;
+               result = result_at ?domains ?strategy ~n ~k fleet (Some at);
+             })
+           (Analysis.horizon_times ~horizon:h ~rounds))
   end)
 
 let all : entry list =
@@ -232,6 +273,11 @@ let validate s =
 let analyze ?domains ?strategy s =
   dispatch s
     (fun (module M) -> M.analyze ?domains ?strategy s)
+    (fun msg -> Error msg)
+
+let analyze_horizon ?domains ?strategy s =
+  dispatch s
+    (fun (module M) -> M.analyze_horizon ?domains ?strategy s)
     (fun msg -> Error msg)
 
 let protocol_of s =
@@ -260,6 +306,41 @@ let payload ~n (r : Analysis.result) =
       ("nines", Obs.Json.number (Prob.Nines.of_prob r.Analysis.p_safe_live));
     ]
 
+(* One trajectory element is exactly the single-result payload with the
+   round's mission time prepended — the renderer stays singular. *)
+let trajectory_point ~n (hp : Analysis.horizon_point) =
+  match payload ~n hp.Analysis.result with
+  | Obs.Json.Obj fields ->
+      Obs.Json.Obj (("at", Obs.Json.number hp.Analysis.at) :: fields)
+  | j -> j
+
+let horizon_payload ~protocol ~n ~horizon ~rounds points =
+  let min_p_live =
+    List.fold_left
+      (fun acc (hp : Analysis.horizon_point) ->
+        Float.min acc hp.Analysis.result.Analysis.p_live)
+      1. points
+  in
+  Obs.Json.Obj
+    [
+      ("protocol", Obs.Json.String protocol);
+      ("n", Obs.Json.Int n);
+      ("horizon", Obs.Json.number horizon);
+      ("rounds", Obs.Json.Int rounds);
+      ("min_p_live", Obs.Json.number min_p_live);
+      ("trajectory", Obs.Json.List (List.map (trajectory_point ~n) points));
+    ]
+
 let analyze_json ?domains ?strategy s =
-  let* r = analyze ?domains ?strategy s in
-  Ok (payload ~n:(Scenario.size s) r)
+  match Scenario.horizon s with
+  | None ->
+      let* r = analyze ?domains ?strategy s in
+      Ok (payload ~n:(Scenario.size s) r)
+  | Some horizon ->
+      let rounds =
+        Option.value (Scenario.rounds s) ~default:Scenario.default_rounds
+      in
+      let* points = analyze_horizon ?domains ?strategy s in
+      Ok
+        (horizon_payload ~protocol:(Scenario.protocol s) ~n:(Scenario.size s)
+           ~horizon ~rounds points)

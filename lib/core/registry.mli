@@ -58,6 +58,14 @@ module type Protocol_model = sig
       automatic DP-vs-enumeration selection ([Analysis.Enumeration] is
       the [--exact] escape hatch; the quorum-availability model maps it
       to exact subset enumeration). *)
+
+  val analyze_horizon :
+    ?domains:int ->
+    ?strategy:Analysis.strategy ->
+    Scenario.t ->
+    (Analysis.horizon_point list, string) result
+  (** Validate and run the per-round availability trajectory. [Error]
+      when the scenario carries no [horizon]. *)
 end
 
 type entry = (module Protocol_model)
@@ -79,6 +87,14 @@ val analyze :
   Scenario.t ->
   (Analysis.result, string) result
 
+val analyze_horizon :
+  ?domains:int ->
+  ?strategy:Analysis.strategy ->
+  Scenario.t ->
+  (Analysis.horizon_point list, string) result
+(** Dispatch {!Protocol_model.analyze_horizon} on the scenario's
+    protocol; requires the scenario to carry a [horizon]. *)
+
 val protocol_of : Scenario.t -> (Protocol.t, string) result
 
 val fleet_of : Scenario.t -> (Faultmodel.Fleet.t, string) result
@@ -88,10 +104,23 @@ val payload : n:int -> Analysis.result -> Obs.Json.t
 (** The one canonical result rendering: [protocol], [n], [engine],
     [p_safe], [p_live], [p_safe_live], [nines] in that order. *)
 
+val horizon_payload :
+  protocol:string ->
+  n:int ->
+  horizon:float ->
+  rounds:int ->
+  Analysis.horizon_point list ->
+  Obs.Json.t
+(** Canonical trajectory rendering: [protocol], [n], [horizon],
+    [rounds], [min_p_live], then [trajectory] — a list whose elements
+    are exactly {!payload} with the round's ["at"] prepended. *)
+
 val analyze_json :
   ?domains:int ->
   ?strategy:Analysis.strategy ->
   Scenario.t ->
   (Obs.Json.t, string) result
 (** [analyze] composed with {!payload} — what the service, the CLI
-    [--json] mode and the bench all emit. *)
+    [--json] mode and the bench all emit. A scenario carrying a
+    [horizon] renders {!horizon_payload} instead; either way the bytes
+    are the same across CLI, wire/2 and wire/3 by construction. *)

@@ -4,14 +4,19 @@ type t = {
   byz_fraction : float option;
   quorums : (string * int) list;
   stakes : float list option;
+  processes : Faultmodel.Failure_process.t list option;
   at : float option;
   seed : int option;
+  horizon : float option;
+  rounds : int option;
 }
 
 let max_fleet_nodes = 200
 let max_quorum_value = 1000
 let max_quorum_overrides = 8
 let max_protocol_chars = 64
+let max_rounds = 64
+let default_rounds = 12
 
 let ( let* ) = Result.bind
 let errf fmt = Printf.ksprintf (fun msg -> Error msg) fmt
@@ -22,9 +27,27 @@ let byz_fraction s = s.byz_fraction
 let quorums s = s.quorums
 let quorum s key = List.assoc_opt key s.quorums
 let stakes s = s.stakes
+let processes s = s.processes
 let at s = s.at
 let seed s = s.seed
+let horizon s = s.horizon
+let rounds s = s.rounds
 let size s = List.fold_left (fun acc (c, _) -> acc + c) 0 s.mix
+
+let effective_processes s =
+  match s.processes with
+  | Some ps -> ps
+  | None ->
+      List.concat_map
+        (fun (count, p) ->
+          List.init count (fun _ -> Faultmodel.Failure_process.Static p))
+        s.mix
+
+let is_dynamic s =
+  match s.processes with
+  | None -> false
+  | Some ps ->
+      not (List.for_all Faultmodel.Failure_process.is_static ps)
 
 (* --- Validation -------------------------------------------------------- *)
 
@@ -87,7 +110,25 @@ let validate_stakes = function
       Error "stakes must be finite and positive"
   | Some _ -> Ok ()
 
-let make ?byz_fraction ?(quorums = []) ?stakes ?at ?seed ~protocol ~mix () =
+let validate_processes ~mix = function
+  | None -> Ok ()
+  | Some [] -> Error "processes must be non-empty"
+  | Some ps ->
+      let n = List.fold_left (fun acc (c, _) -> acc + c) 0 mix in
+      if List.length ps <> n then
+        errf "processes must list exactly one process per node (%d)" n
+      else
+        let rec check = function
+          | [] -> Ok ()
+          | p :: rest -> (
+              match Faultmodel.Failure_process.validate p with
+              | Ok _ -> check rest
+              | Error msg -> Error msg)
+        in
+        check ps
+
+let make ?byz_fraction ?(quorums = []) ?stakes ?processes ?at ?seed ?horizon
+    ?rounds ~protocol ~mix () =
   let* () = validate_protocol protocol in
   let* () = validate_mix mix in
   let* () =
@@ -98,20 +139,47 @@ let make ?byz_fraction ?(quorums = []) ?stakes ?at ?seed ~protocol ~mix () =
   in
   let* quorums = validate_quorums quorums in
   let* () = validate_stakes stakes in
+  let* () = validate_processes ~mix processes in
   let* () =
     match at with
     | None -> Ok ()
     | Some t when Float.is_finite t && t > 0. -> Ok ()
     | Some _ -> Error "at must be a positive, finite mission time"
   in
-  Ok { protocol; mix; byz_fraction; quorums; stakes; at; seed }
+  let* () =
+    match horizon with
+    | None -> Ok ()
+    | Some h when Float.is_finite h && h > 0. -> Ok ()
+    | Some _ -> Error "horizon must be a positive, finite mission time"
+  in
+  let* () =
+    match rounds with
+    | None -> Ok ()
+    | Some _ when horizon = None -> Error "rounds requires horizon"
+    | Some r when r >= 1 && r <= max_rounds -> Ok ()
+    | Some _ -> errf "rounds must be in [1, %d]" max_rounds
+  in
+  Ok
+    {
+      protocol;
+      mix;
+      byz_fraction;
+      quorums;
+      stakes;
+      processes;
+      at;
+      seed;
+      horizon;
+      rounds;
+    }
 
 let unsafe = function Ok s -> s | Error msg -> invalid_arg ("Scenario: " ^ msg)
 
 let remake s =
   unsafe
     (make ?byz_fraction:s.byz_fraction ~quorums:s.quorums ?stakes:s.stakes
-       ?at:s.at ?seed:s.seed ~protocol:s.protocol ~mix:s.mix ())
+       ?processes:s.processes ?at:s.at ?seed:s.seed ?horizon:s.horizon
+       ?rounds:s.rounds ~protocol:s.protocol ~mix:s.mix ())
 
 let uniform ?byz_fraction ~protocol ~n ~p () =
   unsafe (make ?byz_fraction ~protocol ~mix:[ (n, p) ] ())
@@ -120,6 +188,10 @@ let with_protocol protocol s = remake { s with protocol }
 let with_mix mix s = remake { s with mix }
 let with_p p s = remake { s with mix = List.map (fun (c, _) -> (c, p)) s.mix }
 let with_at at s = remake { s with at = Some at }
+let with_processes processes s = remake { s with processes = Some processes }
+
+let with_horizon ?rounds horizon s =
+  remake { s with horizon = Some horizon; rounds }
 
 (* --- Canonical encoding ------------------------------------------------ *)
 
@@ -144,8 +216,14 @@ let to_json s =
         @ opt "stakes"
             (fun l -> Obs.Json.List (List.map Obs.Json.number l))
             s.stakes
+        @ opt "processes"
+            (fun ps ->
+              Obs.Json.List (List.map Faultmodel.Failure_process.to_json ps))
+            s.processes
         @ opt "at" Obs.Json.number s.at
-        @ opt "seed" (fun i -> Obs.Json.Int i) s.seed))
+        @ opt "seed" (fun i -> Obs.Json.Int i) s.seed
+        @ opt "horizon" Obs.Json.number s.horizon
+        @ opt "rounds" (fun i -> Obs.Json.Int i) s.rounds))
 
 let to_string s = Obs.Json.to_string (to_json s)
 
@@ -229,6 +307,20 @@ let of_json json =
             parse [] items
         | Some _ -> Error "stakes must be a list of numbers"
       in
+      let* processes =
+        match Obs.Json.member "processes" json with
+        | None -> Ok None
+        | Some (Obs.Json.List items) ->
+            let rec parse acc = function
+              | [] -> Ok (Some (List.rev acc))
+              | j :: rest -> (
+                  match Faultmodel.Failure_process.of_json j with
+                  | Ok p -> parse (p :: acc) rest
+                  | Error msg -> Error msg)
+            in
+            parse [] items
+        | Some _ -> Error "processes must be a list of process objects"
+      in
       let* at = opt_number "at" json in
       let* seed =
         match Obs.Json.member "seed" json with
@@ -238,7 +330,17 @@ let of_json json =
             | Some v -> Ok (Some v)
             | None -> Error "seed must be an integer")
       in
-      make ?byz_fraction ~quorums ?stakes ?at ?seed ~protocol ~mix ()
+      let* horizon = opt_number "horizon" json in
+      let* rounds =
+        match Obs.Json.member "rounds" json with
+        | None -> Ok None
+        | Some j -> (
+            match Obs.Json.to_int j with
+            | Some v -> Ok (Some v)
+            | None -> Error "rounds must be an integer")
+      in
+      make ?byz_fraction ~quorums ?stakes ?processes ?at ?seed ?horizon ?rounds
+        ~protocol ~mix ()
   | _ -> Error "scenario must be a JSON object"
 
 let of_string s =
@@ -249,13 +351,22 @@ let of_string s =
 (* --- Realization ------------------------------------------------------- *)
 
 let fleet ~byz_fraction s =
-  Faultmodel.Fleet.of_nodes
-    (List.concat_map
-       (fun (count, p) ->
-         List.init count (fun _ ->
+  match s.processes with
+  | None ->
+      Faultmodel.Fleet.of_nodes
+        (List.concat_map
+           (fun (count, p) ->
+             List.init count (fun _ ->
+                 Faultmodel.Node.make ~id:0 ~byz_fraction
+                   (Faultmodel.Fault_curve.constant p)))
+           s.mix)
+  | Some ps ->
+      Faultmodel.Fleet.of_nodes
+        (List.map
+           (fun p ->
              Faultmodel.Node.make ~id:0 ~byz_fraction
-               (Faultmodel.Fault_curve.constant p)))
-       s.mix)
+               (Faultmodel.Failure_process.to_curve p))
+           ps)
 
 let equal (a : t) b = a = b
 let pp ppf s = Format.pp_print_string ppf (to_string s)

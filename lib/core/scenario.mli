@@ -36,14 +36,23 @@ val max_quorum_value : int
 val max_quorum_overrides : int
 (** 8 — cap on the number of quorum overrides. *)
 
+val max_rounds : int
+(** 64 — cap on horizon-trajectory rounds. *)
+
+val default_rounds : int
+(** 12 — rounds used when [horizon] is set but [rounds] is not. *)
+
 (** {1 Construction} *)
 
 val make :
   ?byz_fraction:float ->
   ?quorums:(string * int) list ->
   ?stakes:float list ->
+  ?processes:Faultmodel.Failure_process.t list ->
   ?at:float ->
   ?seed:int ->
+  ?horizon:float ->
+  ?rounds:int ->
   protocol:string ->
   mix:(int * float) list ->
   unit ->
@@ -62,7 +71,17 @@ val make :
       the stake protocol;
     - [at]: mission time in hours (finite, positive; default one year
       downstream);
-    - [seed]: PRNG seed for Monte-Carlo engines. *)
+    - [seed]: PRNG seed for Monte-Carlo engines;
+    - [processes]: optional per-node failure processes, exactly one per
+      node of the mix, each validated by
+      {!Faultmodel.Failure_process.validate}. Absent means every node is
+      [Static p] with its mix group's probability — the pre-process
+      semantics, bit-identical;
+    - [horizon]: optional trajectory horizon in hours (finite,
+      positive) — analyze availability at {!default_rounds} (or
+      [rounds]) times spaced evenly over [(0, horizon]];
+    - [rounds]: trajectory resolution in [1, {!max_rounds}]; only
+      meaningful (and only accepted) with [horizon]. *)
 
 val uniform :
   ?byz_fraction:float -> protocol:string -> n:int -> p:float -> unit -> t
@@ -82,11 +101,22 @@ val quorum : t -> string -> int option
 (** Lookup one override. *)
 
 val stakes : t -> float list option
+val processes : t -> Faultmodel.Failure_process.t list option
 val at : t -> float option
 val seed : t -> int option
+val horizon : t -> float option
+val rounds : t -> int option
 
 val size : t -> int
 (** Total node count of the mix. *)
+
+val effective_processes : t -> Faultmodel.Failure_process.t list
+(** The per-node processes, expanding an absent [processes] field to
+    [Static p] per mix group — the normal form every dynamic consumer
+    (horizon analysis, the simulator, reliability weighting) works on. *)
+
+val is_dynamic : t -> bool
+(** True iff the scenario carries at least one non-[Static] process. *)
 
 (** {1 Transformers}
 
@@ -100,6 +130,10 @@ val with_p : float -> t -> t
 (** Replace every group's fault probability, keeping the counts. *)
 
 val with_at : float -> t -> t
+val with_processes : Faultmodel.Failure_process.t list -> t -> t
+
+val with_horizon : ?rounds:int -> float -> t -> t
+(** Set the trajectory horizon (and optionally its resolution). *)
 
 (** {1 Validation building blocks}
 
@@ -117,8 +151,11 @@ val mix_of_params : Obs.Json.t -> ((int * float) list, string) result
 
 val to_json : t -> Obs.Json.t
 (** Fixed field order — [protocol], [mix], then [byz_fraction],
-    [quorums], [stakes], [at], [seed], each omitted when absent — so
-    the encoding is canonical: one scenario, one byte string. *)
+    [quorums], [stakes], [processes], [at], [seed], [horizon],
+    [rounds], each omitted when absent — so the encoding is canonical:
+    one scenario, one byte string. Scenarios without the new optional
+    fields encode byte-identically to the pre-process format
+    (regression-tested). *)
 
 val to_string : t -> string
 
@@ -135,7 +172,10 @@ val fleet : byz_fraction:float -> t -> Faultmodel.Fleet.t
 (** Build the fleet the scenario describes, splitting each node's fault
     probability into crash/Byzantine by [byz_fraction] (the caller —
     normally {!Registry} — resolves the scenario's optional field
-    against the protocol default). *)
+    against the protocol default). With [processes] present each node
+    carries its process realized as a fault curve
+    ({!Faultmodel.Failure_process.to_curve}), so time-dependent
+    evaluation ([?at], horizons) works through the same fleet path. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

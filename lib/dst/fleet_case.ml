@@ -4,6 +4,7 @@ type t = {
   seed : int;
   quorum : int;
   target_nines : float;
+  dynamic : bool;
 }
 
 let system_name = "fleet"
@@ -14,7 +15,7 @@ let max_ticks = 64
 let config case =
   let cfg =
     Fleetctl.Controller.default_config ~seed:case.seed ~ticks:case.ticks
-      ~nodes:case.nodes ()
+      ~dynamic:case.dynamic ~nodes:case.nodes ()
   in
   {
     cfg with
@@ -69,7 +70,11 @@ let generate rng =
     else 1 + Prob.Rng.int rng nodes
   in
   let target_nines = 1. +. (Prob.Rng.float rng *. 4.) in
-  { nodes; ticks; seed; quorum; target_nines }
+  (* A third of the soak runs against the Markov ground-truth
+     processes: determinism and divergence invariants must hold
+     whether the fleet drifts by steps or by process. *)
+  let dynamic = Prob.Rng.bool rng (1. /. 3.) in
+  { nodes; ticks; seed; quorum; target_nines; dynamic }
 
 (* --- Size and shrinking ------------------------------------------------- *)
 
@@ -97,7 +102,8 @@ let candidates case =
       [ { case with nodes; quorum = clamp_quorum ~nodes case.quorum } ]
     else []
   in
-  halve_ticks @ halve_nodes @ shrink_nodes @ drop_tick
+  let undynamic = if case.dynamic then [ { case with dynamic = false } ] else [] in
+  undynamic @ halve_ticks @ halve_nodes @ shrink_nodes @ drop_tick
 
 (* --- JSON codec --------------------------------------------------------- *)
 
@@ -105,18 +111,21 @@ let encode case =
   {
     Repro.scenario =
       Obs.Json.Obj
-        [
-          ("nodes", Obs.Json.Int case.nodes);
-          ("seed", Obs.Json.Int case.seed);
-          ("quorum", Obs.Json.Int case.quorum);
-          ("target_nines", Obs.Json.number case.target_nines);
-        ];
+        ([
+           ("nodes", Obs.Json.Int case.nodes);
+           ("seed", Obs.Json.Int case.seed);
+           ("quorum", Obs.Json.Int case.quorum);
+           ("target_nines", Obs.Json.number case.target_nines);
+         ]
+        (* Encoded only when true: every pre-dynamic committed artifact
+           keeps its exact bytes and decodes as a static-drift case. *)
+        @ if case.dynamic then [ ("dynamic", Obs.Json.Bool true) ] else []);
     (* The fault plan is the telemetry stream's drift schedule — fully
        derived from the seed, so the plan records the derivation
        parameters the default config pins. *)
     plan =
       (let s =
-         Fleetctl.Stream.default_config ~seed:case.seed ~nodes:case.nodes
+         Fleetctl.Stream.default_config ~seed:case.seed ~nodes:case.nodes ()
        in
        Obs.Json.Obj
          [
@@ -152,7 +161,13 @@ let decode { Repro.scenario; plan = _; ops } =
     | Some _ -> Error (Printf.sprintf "at most %d ticks" max_ticks)
     | None -> Error "ops must be a list (the tick sequence)"
   in
-  Ok { nodes; ticks; seed; quorum; target_nines }
+  let* dynamic =
+    match Obs.Json.member "dynamic" scenario with
+    | None -> Ok false
+    | Some (Obs.Json.Bool b) -> Ok b
+    | Some _ -> Error "dynamic must be a boolean"
+  in
+  Ok { nodes; ticks; seed; quorum; target_nines; dynamic }
 
 let system () =
   {

@@ -12,7 +12,12 @@
       rounding allowance).
 
     Shrinking drops ticks and nodes; the op trace in a repro artifact
-    is the tick sequence. *)
+    is the tick sequence. A third of generated cases run with
+    [dynamic = true] — Markov ground-truth degradation processes and
+    the uncertainty-weighted swap policy — so both invariants soak
+    against time-varying truth too; shrinking tries turning [dynamic]
+    off first, and the artifact field is encoded only when true, so
+    pre-dynamic repro artifacts keep their exact bytes. *)
 
 type t = {
   nodes : int;
@@ -20,6 +25,7 @@ type t = {
   seed : int;
   quorum : int;
   target_nines : float;
+  dynamic : bool;
 }
 
 val system_name : string

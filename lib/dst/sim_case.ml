@@ -1,5 +1,11 @@
 type protocol = Raft | Pbft | Benor | Rabia
-type fault_kind = Crash | Crash_restart of float | Byzantine
+
+type fault_kind =
+  | Crash
+  | Crash_restart of float
+  | Byzantine
+  | Process of { fail_rate : float; recover_rate : float }
+
 type fault = { node : int; kind : fault_kind; at : float }
 
 type t = {
@@ -35,15 +41,32 @@ let max_time = 1e7
 
 (* --- Execution --------------------------------------------------------- *)
 
-let injector_plan faults =
+(* A process fault's actual fail/recover schedule: sampled from the
+   node's own [Rng.of_pair (cluster_seed, node)] stream over the run's
+   remaining horizon, shifted to start at the fault's [at]. Purely a
+   function of the case, so the shrinker and the replayer see the same
+   schedule the run executed. *)
+let process_downtime t f ~fail_rate ~recover_rate =
+  let rng = Prob.Rng.of_pair t.cluster_seed f.node in
+  let horizon = Float.max 0. (t.horizon -. f.at) in
   List.map
+    (fun (fail, back) -> (fail +. f.at, Option.map (( +. ) f.at) back))
+    (Faultmodel.Failure_process.sample_downtime rng
+       (Faultmodel.Failure_process.Markov { fail_rate; recover_rate })
+       ~horizon)
+
+let injector_plan t =
+  List.concat_map
     (fun f ->
       match f.kind with
-      | Crash -> (f.node, Dessim.Fault_injector.Crash_at f.at)
+      | Crash -> [ (f.node, Dessim.Fault_injector.Crash_at f.at) ]
       | Crash_restart back_at ->
-          (f.node, Dessim.Fault_injector.Crash_restart { at = f.at; back_at })
-      | Byzantine -> (f.node, Dessim.Fault_injector.Byzantine_from f.at))
-    faults
+          [ (f.node, Dessim.Fault_injector.Crash_restart { at = f.at; back_at }) ]
+      | Byzantine -> [ (f.node, Dessim.Fault_injector.Byzantine_from f.at) ]
+      | Process { fail_rate; recover_rate } ->
+          Dessim.Fault_injector.of_downtime f.node
+            (process_downtime t f ~fail_rate ~recover_rate))
+    t.faults
 
 let faulted_nodes faults = List.map (fun f -> f.node) faults
 
@@ -53,6 +76,26 @@ let faulted_nodes faults = List.map (fun f -> f.node) faults
 let correct_nodes t =
   let faulted = faulted_nodes t.faults in
   List.filter (fun i -> not (List.mem i faulted)) (List.init t.n Fun.id)
+
+(* A process-faulted node whose sampled schedule closes every outage by
+   the run's midpoint is back for the whole second half — long enough
+   for re-election and catch-up — so it counts toward the liveness
+   majority. This is what makes recovery-dependent liveness assertable:
+   dynamic faults can keep a cluster live that a static gate (which
+   writes every faulted node off forever) would excuse. *)
+let recovered_nodes t =
+  List.filter_map
+    (fun f ->
+      match f.kind with
+      | Process { fail_rate; recover_rate } ->
+          let schedule = process_downtime t f ~fail_rate ~recover_rate in
+          let back_by_midpoint = function
+            | _, Some back -> back <= t.horizon /. 2.
+            | _, None -> false
+          in
+          if List.for_all back_by_midpoint schedule then Some f.node else None
+      | _ -> None)
+    t.faults
 
 let fail invariant detail = Harness.Fail { invariant; detail }
 
@@ -69,14 +112,22 @@ let run t =
         Raft_sim.Raft_cluster.create ~seed:t.cluster_seed
           ~drop_probability:t.drop_probability ~n:t.n ()
       in
-      Raft_sim.Raft_cluster.inject cluster (injector_plan t.faults);
+      Raft_sim.Raft_cluster.inject cluster (injector_plan t);
       Raft_sim.Raft_cluster.submit_workload cluster ~commands:t.ops ~start:500.
         ~interval:100.;
       Raft_sim.Raft_cluster.run cluster ~until:t.horizon;
-      let r = Raft_sim.Raft_checker.check cluster ~expected:t.ops ~correct in
+      (* Liveness is a guarantee while a majority never fails — or, with
+         process faults, recovers for good by the midpoint. Recovered
+         nodes join the set the checker demands progress from: they had
+         the whole second half to re-elect and catch up. *)
+      let live_set =
+        List.sort_uniq compare (correct @ recovered_nodes t)
+      in
+      let r =
+        Raft_sim.Raft_checker.check cluster ~expected:t.ops ~correct:live_set
+      in
       let detail () = String.concat "; " r.Raft_sim.Raft_checker.violations in
-      (* Liveness is a guarantee only while a majority never fails. *)
-      let live_expected = List.length correct >= (t.n / 2) + 1 in
+      let live_expected = List.length live_set >= (t.n / 2) + 1 in
       check_violations
         [
           ("agreement", r.Raft_sim.Raft_checker.agreement_ok, detail);
@@ -91,7 +142,7 @@ let run t =
         Pbft_sim.Pbft_cluster.create ~seed:t.cluster_seed
           ~drop_probability:t.drop_probability ~n:t.n ()
       in
-      Pbft_sim.Pbft_cluster.inject cluster (injector_plan t.faults);
+      Pbft_sim.Pbft_cluster.inject cluster (injector_plan t);
       Pbft_sim.Pbft_cluster.submit_workload cluster ~commands:t.ops ~start:500.
         ~interval:100.;
       Pbft_sim.Pbft_cluster.run cluster ~until:t.horizon;
@@ -120,7 +171,7 @@ let run t =
           ~drop_probability:t.drop_probability ~common_coin:t.cluster_seed
           ~initial_values:t.ops ()
       in
-      Benor_sim.Benor_cluster.inject cluster (injector_plan t.faults);
+      Benor_sim.Benor_cluster.inject cluster (injector_plan t);
       Benor_sim.Benor_cluster.run cluster ~until:t.horizon;
       let r = Benor_sim.Benor_cluster.check cluster ~correct in
       let detail () =
@@ -145,11 +196,14 @@ let run t =
         Rabia_sim.Rabia_cluster.create ~seed:t.cluster_seed
           ~drop_probability:t.drop_probability ~n:t.n ()
       in
-      Rabia_sim.Rabia_cluster.inject cluster (injector_plan t.faults);
+      Rabia_sim.Rabia_cluster.inject cluster (injector_plan t);
       Rabia_sim.Rabia_cluster.submit_workload cluster ~commands:t.ops ~start:500.
         ~interval:100.;
       Rabia_sim.Rabia_cluster.run cluster ~until:t.horizon;
-      let r = Rabia_sim.Rabia_cluster.check cluster ~expected:t.ops ~correct in
+      let live_set = List.sort_uniq compare (correct @ recovered_nodes t) in
+      let r =
+        Rabia_sim.Rabia_cluster.check cluster ~expected:t.ops ~correct:live_set
+      in
       let detail () =
         Printf.sprintf "committed counts: %s; %d null slots"
           (String.concat ","
@@ -157,7 +211,7 @@ let run t =
                 (Array.map string_of_int r.Rabia_sim.Rabia_cluster.committed_counts)))
           r.Rabia_sim.Rabia_cluster.null_slots
       in
-      let live_expected = List.length correct >= (t.n / 2) + 1 in
+      let live_expected = List.length live_set >= (t.n / 2) + 1 in
       check_violations
         [
           ("agreement", r.Rabia_sim.Rabia_cluster.agreement_ok, detail);
@@ -184,9 +238,23 @@ let generate protocol rng =
           | Pbft ->
               (* The BFT system draws Byzantine conversions too. *)
               if Prob.Rng.bool rng 0.5 then Byzantine else Crash
-          | _ ->
+          | Benor ->
               if Prob.Rng.bool rng 0.3 then
                 Crash_restart (at +. 5000. +. (Prob.Rng.float rng *. 10_000.))
+              else Crash
+          | Raft | Rabia ->
+              (* Crash-fault systems also draw process-driven fail/recover
+                 schedules: short mean time to failure, shorter mean time
+                 to recovery, so most schedules cycle within the run. *)
+              let roll = Prob.Rng.float rng in
+              if roll < 0.3 then
+                Crash_restart (at +. 5000. +. (Prob.Rng.float rng *. 10_000.))
+              else if roll < 0.55 then
+                Process
+                  {
+                    fail_rate = 1. /. (3000. +. (Prob.Rng.float rng *. 9000.));
+                    recover_rate = 1. /. (1500. +. (Prob.Rng.float rng *. 4500.));
+                  }
               else Crash
         in
         { node; kind; at })
@@ -288,6 +356,10 @@ let kind_fields = function
       [ ("kind", Obs.Json.String "crash_restart");
         ("back_at", Obs.Json.number back_at) ]
   | Byzantine -> [ ("kind", Obs.Json.String "byzantine") ]
+  | Process { fail_rate; recover_rate } ->
+      [ ("kind", Obs.Json.String "process");
+        ("fail_rate", Obs.Json.number fail_rate);
+        ("recover_rate", Obs.Json.number recover_rate) ]
 
 let encode t =
   {
@@ -385,6 +457,19 @@ let decode { Repro.scenario; plan; ops } =
           | Some "byzantine" ->
               if protocol = Pbft then Ok Byzantine
               else Error "byzantine faults are PBFT-only"
+          | Some "process" ->
+              if protocol <> Raft && protocol <> Rabia then
+                Error "process faults apply to raft and rabia only"
+              else
+                let* fail_rate = finite_of "fail_rate" doc in
+                let* recover_rate = finite_of "recover_rate" doc in
+                if
+                  fail_rate > 0. && fail_rate <= 1. && recover_rate > 0.
+                  && recover_rate <= 1.
+                then Ok (Process { fail_rate; recover_rate })
+                else
+                  Error
+                    "process rates must be positive and at most 1 per time unit"
           | Some other -> Error (Printf.sprintf "unknown fault kind %S" other)
           | None -> Error "fault missing kind"
         in

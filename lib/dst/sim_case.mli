@@ -17,7 +17,20 @@
 
 type protocol = Raft | Pbft | Benor | Rabia
 
-type fault_kind = Crash | Crash_restart of float  (** back_at *) | Byzantine
+type fault_kind =
+  | Crash
+  | Crash_restart of float  (** back_at *)
+  | Byzantine
+  | Process of { fail_rate : float; recover_rate : float }
+      (** Process-driven fail/recover schedule (Raft/Rabia only): a
+          two-state on/off Markov process with the given per-time-unit
+          rates, realized as concrete crash/restart events sampled from
+          [Rng.of_pair (cluster_seed, node)] over the run's horizon via
+          {!Faultmodel.Failure_process.sample_downtime} — deterministic,
+          replayable and shrinkable like any other fault. A node whose
+          sampled schedule closes every outage by the run's midpoint
+          counts toward the liveness majority: recovery-dependent
+          liveness is asserted, not excused. *)
 
 type fault = { node : int; kind : fault_kind; at : float }
 
@@ -39,6 +52,12 @@ val protocol_name : protocol -> string
 
 val system_name : protocol -> string
 (** ["sim-" ^ protocol_name] — the artifact tag. *)
+
+val recovered_nodes : t -> int list
+(** Process-faulted nodes whose sampled downtime closes every outage
+    by [horizon /. 2] — the nodes {!run} adds to the liveness
+    obligation set. Exposed so tests can assert that a pinned repro's
+    liveness really does depend on recovery. *)
 
 val run : t -> Harness.outcome
 (** Build the cluster, inject, drive, check. Invariant names:

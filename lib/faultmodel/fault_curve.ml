@@ -6,6 +6,7 @@ type t =
   | Empirical of (float * float) array
   | Scaled of { factor : float; curve : t }
   | Shifted of { offset : float; curve : t }
+  | Markov_onoff of { fail_rate : float; recover_rate : float }
 
 let hours_per_year = 8766.
 
@@ -23,6 +24,14 @@ let rec eval curve t =
     | Empirical points -> eval_empirical points t
     | Scaled { factor; curve } -> factor *. eval curve t
     | Shifted { offset; curve } -> if t < offset then 0. else eval curve (t -. offset)
+    | Markov_onoff { fail_rate; recover_rate } ->
+        (* Two-state CTMC started Up: exact transient occupancy of Down,
+           p(t) = pi * (1 - exp (-(lambda+mu) t)) with pi = lambda/(lambda+mu). *)
+        let total = fail_rate +. recover_rate in
+        if total <= 0. then 0.
+        else
+          let pi = fail_rate /. total in
+          -.(pi *. Float.expm1 (-.total *. Float.max 0. t))
   in
   Prob.Math_utils.clamp_prob p
 
@@ -60,7 +69,7 @@ let rec hazard_rate curve t =
   | Weibull { shape; scale } -> Prob.Distribution.weibull_hazard ~shape ~scale t
   | Shifted { offset; curve } ->
       if t < offset then 0. else hazard_rate curve (t -. offset)
-  | Constant _ | Bathtub _ | Empirical _ | Scaled _ ->
+  | Constant _ | Bathtub _ | Empirical _ | Scaled _ | Markov_onoff _ ->
       (* h(t) = f(t) / S(t), with f estimated by a central difference. *)
       let dt = Float.max 1e-6 (Float.abs t *. 1e-6) in
       let p_lo = eval curve (Float.max 0. (t -. dt)) in
@@ -84,3 +93,5 @@ let rec pp fmt = function
   | Empirical points -> Format.fprintf fmt "empirical(%d points)" (Array.length points)
   | Scaled { factor; curve } -> Format.fprintf fmt "%g*%a" factor pp curve
   | Shifted { offset; curve } -> Format.fprintf fmt "%a@@+%gh" pp curve offset
+  | Markov_onoff { fail_rate; recover_rate } ->
+      Format.fprintf fmt "markov(fail=%g/h, recover=%g/h)" fail_rate recover_rate

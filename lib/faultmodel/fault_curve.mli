@@ -33,6 +33,13 @@ type t =
       (** Restart the curve's clock at [offset]: a node installed at
           mission time [offset] evaluates its curve at [t - offset].
           Before [offset] the probability is 0. *)
+  | Markov_onoff of { fail_rate : float; recover_rate : float }
+      (** Two-state on/off Markov process started Up: the node fails at
+          rate [fail_rate] per hour and recovers at rate [recover_rate].
+          [eval] is the exact transient probability of being Down at
+          time [t], converging to the stationary unavailability
+          [fail_rate / (fail_rate + recover_rate)] — the dynamic-failure
+          model of "Bernoulli Meets PBFT". *)
 
 val eval : t -> float -> float
 (** [eval curve t] is the fault probability at mission time [t],

@@ -19,7 +19,7 @@ let sample_lifetime rng curve =
       else if p >= 1. then 0.
       else Prob.Rng.exponential rng (-.Float.log1p (-.p) /. hours_per_year)
   | (Fault_curve.Bathtub _ | Fault_curve.Empirical _ | Fault_curve.Scaled _
-    | Fault_curve.Shifted _) as c ->
+    | Fault_curve.Shifted _ | Fault_curve.Markov_onoff _) as c ->
       (* Numeric inversion of the CDF by bisection over an expanding
          bracket. *)
       let u = Prob.Rng.float rng in

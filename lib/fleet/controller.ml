@@ -9,10 +9,11 @@ type config = {
   drift_bound : float;
   resize_max_nodes : int;
   verify : bool;
+  dynamic : bool;
   stream : Stream.config;
 }
 
-let default_config ?(seed = 42) ?(ticks = 26) ~nodes () =
+let default_config ?(seed = 42) ?(ticks = 26) ?(dynamic = false) ~nodes () =
   {
     nodes;
     seed;
@@ -24,7 +25,8 @@ let default_config ?(seed = 42) ?(ticks = 26) ~nodes () =
     drift_bound = Prob.Incremental.default_drift_bound;
     resize_max_nodes = 64;
     verify = nodes <= 256;
-    stream = Stream.default_config ~seed ~nodes;
+    dynamic;
+    stream = Stream.default_config ~dynamic ~seed ~nodes ();
   }
 
 type action =
@@ -83,6 +85,20 @@ let argmax_estimate estimates =
   Array.iteri (fun i p -> if p > estimates.(!best) then best := i) estimates;
   !best
 
+(* Dynamic-mode swap target: lowest reliability-weighted score
+   [(1 - estimate) / (1 + uncertainty)] — the same scoring
+   {!Probnative.Committee.reliability_weighted} uses. A node that looks
+   bad {e or} that we cannot trust ranks first; under time-varying
+   ground truth a stale confident estimate is exactly as dangerous as a
+   fresh bad one. *)
+let argmin_weighted estimates uncertainty =
+  let score i = (1. -. estimates.(i)) /. (1. +. uncertainty.(i)) in
+  let best = ref 0 in
+  Array.iteri
+    (fun i _ -> if score i < score !best then best := i)
+    estimates;
+  !best
+
 let run cfg =
   validate cfg;
   let stream = Stream.create cfg.stream in
@@ -93,6 +109,10 @@ let run cfg =
   in
   let replacement_p = prior in
   let estimates = Array.make cfg.nodes prior in
+  (* 95%-CI half-width on each node's AFR from its latest observation;
+     0.5 (maximal) until a node has reported. Only consulted by the
+     dynamic-mode swap policy. *)
+  let uncertainty = Array.make cfg.nodes 0.5 in
   let engine =
     Prob.Incremental.create ~drift_bound:cfg.drift_bound estimates
   in
@@ -123,6 +143,8 @@ let run cfg =
           let fitted = Faultmodel.Telemetry.fit_auto observation in
           let p = Faultmodel.Fault_curve.eval fitted cfg.at in
           estimates.(node) <- p;
+          let lo, hi = Faultmodel.Telemetry.afr_confidence observation in
+          uncertainty.(node) <- (hi -. lo) /. 2.;
           (node, p))
         events
     in
@@ -157,13 +179,17 @@ let run cfg =
          help. *)
       let live = p_live () in
       if live < cfg.target_live then begin
-        let riskiest = argmax_estimate estimates in
+        let riskiest =
+          if cfg.dynamic then argmin_weighted estimates uncertainty
+          else argmax_estimate estimates
+        in
         let previous = estimates.(riskiest) in
         if previous > replacement_p then begin
           Prob.Incremental.update engine riskiest replacement_p;
           let predicted = p_live () in
           if predicted > live then begin
             estimates.(riskiest) <- replacement_p;
+            uncertainty.(riskiest) <- 0.;
             Stream.replace stream riskiest ~afr:cfg.replacement_afr;
             recommend tick live
               (Swap { node = riskiest; estimate = previous; predicted_live = predicted })
@@ -216,7 +242,10 @@ let recommendation_json r =
     :: action_json r.action)
 
 let base_fields o =
-  [
+  (* [dynamic] is encoded only when true so every pre-existing payload
+     byte stays identical. *)
+  (if o.config.dynamic then [ ("dynamic", Obs.Json.Bool true) ] else [])
+  @ [
     ("nodes", Obs.Json.Int o.config.nodes);
     ("seed", Obs.Json.Int o.config.seed);
     ("ticks", Obs.Json.Int o.config.ticks);

@@ -32,13 +32,21 @@ type config = {
   verify : bool;
       (** Check the incremental distribution against a from-scratch
           recompute every tick (O(n^2) — tests and small fleets). *)
+  dynamic : bool;
+      (** Time-varying ground truth: the stream runs its Markov
+          degradation processes and the swap policy scores nodes by
+          reliability weighted against estimate uncertainty,
+          [(1 - estimate) / (1 + uncertainty)], instead of raw
+          worst-estimate — under drift, confidence decays and the
+          controller prefers replacing what it can no longer trust. *)
   stream : Stream.config;
 }
 
-val default_config : ?seed:int -> ?ticks:int -> nodes:int -> unit -> config
+val default_config :
+  ?seed:int -> ?ticks:int -> ?dynamic:bool -> nodes:int -> unit -> config
 (** Majority quorum, 3-nines liveness target, one-year horizon, 2% AFR
     replacements, verification on up to 256 nodes. Default seed 42,
-    26 ticks. *)
+    26 ticks, [dynamic] off (threads through to the stream config). *)
 
 type action =
   | Resize of { q_per : int; q_vc : int; predicted_live : float }

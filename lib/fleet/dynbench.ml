@@ -1,0 +1,109 @@
+type row = {
+  n : int;
+  kernel : string;
+  rounds : int;
+  seconds : float;
+  ms_per_round : float;
+  rounds_per_sec : float;
+  max_diff : float;
+}
+
+let default_rounds = 24
+let horizon = 8766.
+
+(* A realistic mixed fleet: most nodes carry static estimates, a
+   1-in-16 minority (at least one) runs a genuine Markov on/off
+   process. Only the dynamic nodes' marginals move between rounds, so
+   the incremental path updates a handful of factors per round where
+   the exact kernel redoes the whole O(n^2) DP. *)
+let dynamic_count n = max 1 (n / 16)
+
+let log_uniform rng lo hi =
+  exp (log lo +. (Prob.Rng.float rng *. (log hi -. log lo)))
+
+let fleet_for ~seed n =
+  let rng = Prob.Rng.of_pair seed n in
+  let dyn = dynamic_count n in
+  let nodes =
+    List.init n (fun id ->
+        let process =
+          if id < dyn then
+            Faultmodel.Failure_process.Markov
+              {
+                fail_rate = 1. /. log_uniform rng 2_000. 20_000.;
+                recover_rate = 1. /. log_uniform rng 100. 1_000.;
+              }
+          else Faultmodel.Failure_process.Static (log_uniform rng 0.001 0.05)
+        in
+        Faultmodel.Node.make ~id (Faultmodel.Failure_process.to_curve process))
+  in
+  Faultmodel.Fleet.of_nodes nodes
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let make_row ~n ~kernel ~rounds ~seconds ~max_diff =
+  let seconds = Float.max seconds 1e-9 in
+  {
+    n;
+    kernel;
+    rounds;
+    seconds;
+    ms_per_round = seconds *. 1e3 /. float_of_int rounds;
+    rounds_per_sec = float_of_int rounds /. seconds;
+    max_diff;
+  }
+
+let bench_size ~seed ~rounds n =
+  let fleet = fleet_for ~seed n in
+  let times = Probcons.Analysis.horizon_times ~horizon ~rounds in
+  let proto = Probcons.Raft_model.(protocol (default n)) in
+  let run strategy () =
+    Probcons.Analysis.run_horizon ~strategy ~domains:1 ~times proto fleet
+  in
+  let exact, exact_seconds = time (run Probcons.Analysis.Count_dp) in
+  let incremental, inc_seconds = time (run Probcons.Analysis.Auto) in
+  (* The speedup claim is only worth archiving if the fast kernel
+     computes the same trajectory. *)
+  let max_diff =
+    List.fold_left2
+      (fun acc a b ->
+        Float.max acc
+          (Float.abs
+             (a.Probcons.Analysis.result.Probcons.Analysis.p_live
+             -. b.Probcons.Analysis.result.Probcons.Analysis.p_live)))
+      0. exact incremental
+  in
+  [
+    make_row ~n ~kernel:"horizon-exact" ~rounds ~seconds:exact_seconds
+      ~max_diff:0.;
+    make_row ~n ~kernel:"horizon-incremental" ~rounds ~seconds:inc_seconds
+      ~max_diff;
+  ]
+
+let run ?(seed = 42) ?(rounds = default_rounds) ~sizes () =
+  if rounds < 1 then invalid_arg "Dynbench.run: rounds must be positive";
+  List.concat_map (fun n -> bench_size ~seed ~rounds n) sizes
+
+let row_to_json r =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int r.n);
+      ("kernel", Obs.Json.String r.kernel);
+      ("rounds", Obs.Json.Int r.rounds);
+      ("seconds", Obs.Json.number r.seconds);
+      ("ms_per_round", Obs.Json.number r.ms_per_round);
+      ("rounds_per_sec", Obs.Json.number r.rounds_per_sec);
+      ("max_diff", Obs.Json.number r.max_diff);
+    ]
+
+let to_json ~seed rows =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "probcons-dynamic-bench/1");
+      ("seed", Obs.Json.Int seed);
+      ("horizon", Obs.Json.number horizon);
+      ("rows", Obs.Json.List (List.map row_to_json rows));
+    ]

@@ -1,0 +1,41 @@
+(** Horizon-analysis throughput: exact vs incremental trajectories.
+
+    The numbers behind BENCH_dynamic.json: at each fleet size, time a
+    full per-round availability trajectory
+    ({!Probcons.Analysis.run_horizon} over a one-year horizon) twice —
+    once forcing a from-scratch [Count_dp] recompute every round
+    (["horizon-exact"]) and once on the default [Auto] dispatch
+    (["horizon-incremental"]), whose changed rounds update only the
+    moved factors of the incremental Poisson-binomial engine. The
+    benched fleet is mostly static with a 1-in-16 Markov minority —
+    the deployment shape where the incremental claim matters. The
+    incremental row also records the largest per-round [p_live]
+    deviation from the exact kernel, so the artifact carries its own
+    correctness bound. Deterministic fleet given the seed; timings are
+    wall-clock. *)
+
+type row = {
+  n : int;
+  kernel : string;  (** ["horizon-exact"] or ["horizon-incremental"]. *)
+  rounds : int;  (** Trajectory rounds in the timed window. *)
+  seconds : float;
+  ms_per_round : float;
+  rounds_per_sec : float;
+  max_diff : float;
+      (** Largest |p_live - exact p_live| across rounds; [0.] on the
+          exact row itself. *)
+}
+
+val default_rounds : int
+(** 24. *)
+
+val horizon : float
+(** One year (8766 hours). *)
+
+val run : ?seed:int -> ?rounds:int -> sizes:int list -> unit -> row list
+(** Two rows (exact, incremental) per size, in input order. *)
+
+val to_json : seed:int -> row list -> Obs.Json.t
+(** The [probcons-dynamic-bench/1] artifact. *)
+
+val row_to_json : row -> Obs.Json.t

@@ -11,7 +11,17 @@
     Everything is derived from [(seed, tick, node)] through split RNG
     streams, so a stream replays bit-identically: same seed, same
     events, same drift — the determinism the DST invariants and the
-    wire cache both rely on. *)
+    wire cache both rely on.
+
+    In {e dynamic} mode ([dynamic = true]) the ad-hoc step-drift
+    schedule is replaced by a first-class ground truth: each node's
+    degradation is an independent two-state on/off Markov process
+    ({!Faultmodel.Failure_process.Markov}) advanced in simulated time
+    ([tick_hours] per tick). A degraded node's effective AFR is its
+    base AFR times [drift_factor]; recovery brings it back — so the
+    fleet the controller chases both worsens {e and heals}, and tests
+    can score the controller against the exact process via
+    {!ground_truth_process}. *)
 
 type config = {
   seed : int;
@@ -23,12 +33,15 @@ type config = {
   drift_factor : float;  (** AFR multiplier applied to the victim. *)
   base_afr_min : float;  (** Ground-truth AFR range, log-uniform. *)
   base_afr_max : float;
+  dynamic : bool;  (** Markov ground truth instead of step drift. *)
+  tick_hours : float;  (** Simulated hours per tick (dynamic mode). *)
 }
 
-val default_config : seed:int -> nodes:int -> config
+val default_config : ?dynamic:bool -> seed:int -> nodes:int -> unit -> config
 (** 256 devices/node over a one-year window, a quarter of the fleet
     reporting per tick, one 4x degradation every 5 ticks, AFRs
-    log-uniform in [0.01, 0.08]. *)
+    log-uniform in [0.01, 0.08]. [?dynamic] (default [false]) switches
+    to Markov ground truth at two weeks ([336.] hours) per tick. *)
 
 type event = {
   node : int;
@@ -42,8 +55,20 @@ val config : t -> config
 val tick_count : t -> int
 
 val ground_truth_afr : t -> int -> float
-(** The hidden per-node AFR — tests and drift checks only; the
-    controller never reads it. *)
+(** The hidden per-node {e base} AFR — tests and drift checks only;
+    the controller never reads it. In dynamic mode this is the Up-state
+    AFR; degradation multiplies it transiently. *)
+
+val ground_truth_process : t -> int -> Faultmodel.Failure_process.t
+(** The node's ground-truth failure process: in dynamic mode the
+    two-state degradation Markov process (fail at [base_afr / 1000]
+    per hour, recover at [1 / 1000] per hour); otherwise the constant
+    AFR curve. Tests and reliability-weighted selection only. *)
+
+val ground_truth_degraded : t -> int -> bool
+(** Whether the node's degradation process is currently in the Down
+    state (always [false] in static mode). Advances the node's lazy
+    Markov state to the current tick time. *)
 
 val tick : t -> event list
 (** Advance one tick: apply any scheduled degradation, then draw the

@@ -26,6 +26,44 @@ let reliability_ranked ?at ~target fleet =
   in
   go 1
 
+(* Reliability weighted against estimate uncertainty: score
+   [(1 - p) / (1 + uncertainty)], best first. With zero uncertainty the
+   score order is exactly the fault-probability order, and the
+   secondary key keeps even score {e ties} resolved the same way
+   [Fleet.most_reliable] resolves them — so the zero-uncertainty case
+   reduces to {!reliability_ranked} member for member. *)
+let weighted_order ~probs ~scores n =
+  List.sort
+    (fun a b ->
+      match Float.compare scores.(b) scores.(a) with
+      | 0 -> (
+          match Float.compare probs.(a) probs.(b) with
+          | 0 -> Int.compare a b
+          | c -> c)
+      | c -> c)
+    (List.init n Fun.id)
+
+let reliability_weighted ?at ~uncertainty ~target fleet =
+  let n = Faultmodel.Fleet.size fleet in
+  let probs = Faultmodel.Fleet.fault_probs ?at fleet in
+  let scores =
+    Array.init n (fun u ->
+        let unc = uncertainty u in
+        if not (Float.is_finite unc) || unc < 0. then
+          invalid_arg "Committee.reliability_weighted: bad uncertainty";
+        (1. -. probs.(u)) /. (1. +. unc))
+  in
+  let ranked = weighted_order ~probs ~scores n in
+  let rec go k =
+    if k > n then None
+    else begin
+      let members = List.filteri (fun i _ -> i < k) ranked in
+      let c = committee_of ?at fleet members in
+      if c.p_safe_live >= target then Some c else go (k + 2)
+    end
+  in
+  go 1
+
 let random_committee ?at rng ~size fleet =
   let n = Faultmodel.Fleet.size fleet in
   if size > n then invalid_arg "Committee.random_committee: size exceeds fleet";

@@ -16,6 +16,21 @@ val reliability_ranked :
 (** Smallest odd committee of the {e most reliable} nodes whose
     majority-Raft reliability reaches [target]. *)
 
+val reliability_weighted :
+  ?at:float ->
+  uncertainty:(int -> float) ->
+  target:float ->
+  Faultmodel.Fleet.t ->
+  committee option
+(** Like {!reliability_ranked}, but nodes are ranked by
+    [(1 - p) / (1 + uncertainty id)] — reliability discounted by how
+    little we trust its estimate (e.g. a telemetry confidence-interval
+    half-width). Under time-varying failure processes a stale confident
+    estimate and a fresh bad one are equally poor committee material.
+    With [uncertainty = fun _ -> 0.] this is exactly
+    {!reliability_ranked}. Raises [Invalid_argument] on negative or
+    non-finite uncertainty. *)
+
 val random_committee :
   ?at:float -> Prob.Rng.t -> size:int -> Faultmodel.Fleet.t -> committee
 (** Algorand-style uniformly random committee of the given size (the

@@ -29,6 +29,27 @@ let raft_sizings ?at fleet =
 let best_raft ?at ~target_live fleet =
   List.find_opt (fun c -> c.p_live >= target_live) (raft_sizings ?at fleet)
 
+(* Uncertainty-discounted sizing: each node's effective fault
+   probability is [1 - (1 - p) / (1 + uncertainty)] — its reliability
+   divided by how little we trust the estimate — so the search sizes
+   for the fleet we might have, not the fleet we think we have. Zero
+   uncertainty keeps [p] bit-identical (guarded explicitly so the
+   reduction to {!best_raft} is exact, not merely close). *)
+let best_raft_weighted ?at ~uncertainty ~target_live fleet =
+  let probs = Faultmodel.Fleet.fault_probs ?at fleet in
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun id p ->
+           let unc = uncertainty id in
+           if not (Float.is_finite unc) || unc < 0. then
+             invalid_arg "Dynamic_quorum.best_raft_weighted: bad uncertainty";
+           let p' = if unc = 0. then p else 1. -. ((1. -. p) /. (1. +. unc)) in
+           Faultmodel.Node.make ~id (Faultmodel.Fault_curve.constant p'))
+         probs)
+  in
+  best_raft ~target_live (Faultmodel.Fleet.of_nodes nodes)
+
 type pbft_choice = {
   pbft : Probcons.Pbft_model.params;
   p_safe : float;

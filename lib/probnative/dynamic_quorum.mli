@@ -23,6 +23,19 @@ val best_raft :
 (** The smallest-[q_per] structurally safe sizing whose liveness still
     meets the target — cheap commits, probabilistic guarantee intact. *)
 
+val best_raft_weighted :
+  ?at:float ->
+  uncertainty:(int -> float) ->
+  target_live:float ->
+  Faultmodel.Fleet.t ->
+  raft_choice option
+(** {!best_raft} against uncertainty-discounted reliabilities: node
+    [id]'s effective fault probability is
+    [1 - (1 - p) / (1 + uncertainty id)], so estimates we trust less
+    count as less reliable and the chosen sizing is robust to them
+    being wrong. [uncertainty = fun _ -> 0.] is exactly {!best_raft}.
+    Raises [Invalid_argument] on negative or non-finite uncertainty. *)
+
 type pbft_choice = {
   pbft : Probcons.Pbft_model.params;
   p_safe : float;

@@ -34,6 +34,7 @@ let query_pool distinct =
             seed = 1 + i;
             quorum = None;
             target_nines = 3.;
+            dynamic = false;
           }
         in
         if i mod 6 = 5 then Wire.Fleet_ingest params

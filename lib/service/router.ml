@@ -109,7 +109,7 @@ let plan ~target_nines ~groups =
 let fleet_outcome (f : Wire.fleet_params) =
   let cfg =
     Fleetctl.Controller.default_config ~seed:f.Wire.seed ~ticks:f.Wire.ticks
-      ~nodes:f.Wire.nodes ()
+      ~dynamic:f.Wire.dynamic ~nodes:f.Wire.nodes ()
   in
   let cfg =
     {

@@ -12,6 +12,7 @@ type fleet_params = {
   seed : int;
   quorum : int option;
   target_nines : float;
+  dynamic : bool;
 }
 
 type query =
@@ -163,6 +164,9 @@ let query_params = function
         | Some q -> [ ("quorum", Obs.Json.Int q) ]
         | None -> [])
       @ [ ("target_nines", Obs.Json.number f.target_nines) ]
+      (* [dynamic:false] and absent normalize to the same bytes, so
+         pre-dynamic cache keys are untouched. *)
+      @ (if f.dynamic then [ ("dynamic", Obs.Json.Bool true) ] else [])
   | Stats | Ping -> []
 
 let canonical_key query =
@@ -322,7 +326,13 @@ let parse_fleet_params params =
     | None -> 3.
     | Some j -> check_nines "target_nines" (get_float "target_nines" (Some j))
   in
-  { nodes; ticks; seed; quorum; target_nines }
+  let dynamic =
+    match Obs.Json.member "dynamic" params with
+    | None -> false
+    | Some (Obs.Json.Bool b) -> b
+    | Some _ -> bad "dynamic must be a boolean"
+  in
+  { nodes; ticks; seed; quorum; target_nines; dynamic }
 
 let parse_query ~kind ~params =
   match kind with

@@ -57,13 +57,17 @@ type probs = Uniform of float | Per_node of float list
     required on the wire; [ticks], [seed] and [target_nines] default to
     the CLI's defaults (26, 42, 3.0) and an explicit majority [quorum]
     normalizes to [None], so shorthand and spelled-out requests share
-    one cache entry. *)
+    one cache entry. [dynamic] (default [false]) switches the run to
+    Markov ground-truth degradation processes and the
+    uncertainty-weighted swap policy; it is encoded only when [true],
+    so pre-dynamic requests keep their exact cache keys. *)
 type fleet_params = {
   nodes : int;
   ticks : int;
   seed : int;
   quorum : int option;
   target_nines : float;
+  dynamic : bool;
 }
 
 (** A parsed, validated query in normal form. [Analyze] carries a full

@@ -26,6 +26,14 @@ let of_failed_nodes ?(byzantine = false) ?(at = 0.) nodes =
     (fun node -> (node, if byzantine then Byzantine_from at else Crash_at at))
     nodes
 
+let of_downtime node intervals =
+  List.map
+    (fun (fail, back) ->
+      match back with
+      | Some back_at -> (node, Crash_restart { at = fail; back_at })
+      | None -> (node, Crash_at fail))
+    intervals
+
 type outcome = Goes_byzantine | Crashes | Stays_correct
 
 (* One uniform roll per node, partitioned [0, pb) ∪ [pb, pb+pc) ∪ rest.

@@ -28,6 +28,14 @@ val of_failed_nodes : ?byzantine:bool -> ?at:float -> int list -> plan
 (** The simplest plan: the listed nodes fail at time [at] (default 0),
     as crashes or Byzantine conversions. *)
 
+val of_downtime : int -> (float * float option) list -> plan
+(** Process-driven schedule for one node: each [(fail, Some back)]
+    interval becomes a [Crash_restart] and an open [(fail, None)] tail
+    becomes a permanent [Crash_at] — the shape
+    [Faultmodel.Failure_process.sample_downtime] produces, letting a
+    failure process drive the simulator without the sim layer depending
+    on the fault-model library. *)
+
 val sample_plan :
   ?byz_at:float ->
   ?crash_at:float ->

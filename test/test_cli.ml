@@ -13,6 +13,11 @@ let run_capture args =
   close_in ic;
   (status, contents)
 
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -91,7 +96,52 @@ let test_fleet () =
   check_contains "fleet --nodes 9 --ticks 8 --quorum 7 --target-nines 5 --json"
     [ {|"subsystem": "fleet"|}; {|"recommendations"|} ];
   let status, _ = run_capture "fleet --nodes 0" in
-  Alcotest.(check bool) "rejects empty fleet" true (status <> 0)
+  Alcotest.(check bool) "rejects empty fleet" true (status <> 0);
+  (* Dynamic mode flags its payload; the static payload keeps the
+     legacy bytes, with no dynamic key at all. *)
+  check_contains
+    "fleet --nodes 9 --ticks 8 --quorum 7 --target-nines 5 --dynamic --json"
+    [ {|"dynamic": true|} ];
+  let status, static =
+    run_capture "fleet --nodes 9 --ticks 8 --quorum 7 --target-nines 5 --json"
+  in
+  Alcotest.(check int) "static fleet exits 0" 0 status;
+  Alcotest.(check bool) "static payload has no dynamic key" false
+    (contains static "dynamic")
+
+let test_analyze_horizon () =
+  check_contains "analyze --protocol raft -n 5 -p 0.02 --horizon 8766"
+    [ "min p_live"; "nines" ];
+  check_contains
+    "analyze --protocol raft -n 5 -p 0.02 --horizon 8766 --rounds 3 --json"
+    [ {|"horizon": 8766|}; {|"rounds": 3|}; {|"trajectory"|}; {|"min_p_live"|} ];
+  (* --rounds without --horizon is a contradiction, not a default. *)
+  let status, _ = run_capture "analyze --protocol raft -n 5 -p 0.02 --rounds 3" in
+  Alcotest.(check bool) "rounds without horizon rejected" true (status <> 0);
+  (* A scenario file carrying its own horizon dispatches identically to
+     the flag spelling through the --json renderer. *)
+  let status, from_flags =
+    run_capture
+      "analyze --protocol raft -n 5 -p 0.02 --horizon 8766 --rounds 3 --json"
+  in
+  Alcotest.(check int) "flags exit 0" 0 status;
+  write_file "cli_horizon.json"
+    {|{"protocol": "raft", "mix": [[5, 0.02]], "horizon": 8766, "rounds": 3}|};
+  let status, from_file =
+    run_capture "analyze --scenario cli_horizon.json --json"
+  in
+  Alcotest.(check int) "file exit 0" 0 status;
+  Alcotest.(check string) "identical horizon payloads" from_flags from_file
+
+let test_dynbench () =
+  let status, output = run_capture "dynbench --sizes 40 --rounds 4" in
+  Alcotest.(check int) "exits 0" 0 status;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in dynbench output" needle)
+        true (contains output needle))
+    [ "horizon-exact"; "horizon-incremental"; "max_diff" ]
 
 let test_bad_command_fails () =
   let status, _ = run_capture "no-such-command" in
@@ -110,11 +160,6 @@ let test_serve_requires_listener () =
   Alcotest.(check bool) "usage hint" true (contains output "--socket")
 
 (* --- Cross-layer byte identity -------------------------------------- *)
-
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
 
 let test_scenario_file () =
   (* A --scenario file and the equivalent flags print the same bytes:
@@ -205,6 +250,8 @@ let suite =
     Alcotest.test_case "sweep csv" `Quick test_sweep_csv;
     Alcotest.test_case "plan" `Quick test_plan;
     Alcotest.test_case "fleet" `Quick test_fleet;
+    Alcotest.test_case "analyze horizon" `Quick test_analyze_horizon;
+    Alcotest.test_case "dynbench" `Quick test_dynbench;
     Alcotest.test_case "bad command fails" `Quick test_bad_command_fails;
     Alcotest.test_case "version" `Quick test_version;
     Alcotest.test_case "serve requires listener" `Quick test_serve_requires_listener;

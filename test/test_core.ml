@@ -390,6 +390,164 @@ let test_tradeoff_sweep_range () =
   | [ a; b; c ] -> Alcotest.(check bool) "decreasing in p" true (a > b && b > c)
   | _ -> Alcotest.fail "unexpected sweep shape"
 
+(* --- Horizon trajectories (E23) --------------------------------------- *)
+
+let test_run_horizon_static_is_run () =
+  (* A fleet of constant curves: every trajectory round must be
+     bit-identical to the flat analysis at that time — the refactor's
+     backward-compatibility contract, checked with (=), not a
+     tolerance. *)
+  let fleet = Faultmodel.Fleet.mixed [ (2, 0.08); (3, 0.01) ] in
+  let proto = Raft_model.protocol (Raft_model.default 5) in
+  let times = Analysis.horizon_times ~horizon:8766. ~rounds:6 in
+  let points = Analysis.run_horizon ~times proto fleet in
+  Alcotest.(check int) "one point per round" 6 (List.length points);
+  List.iter
+    (fun { Analysis.at; result } ->
+      let direct = Analysis.run ~at proto fleet in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical at %g" at)
+        true
+        (result.Analysis.p_safe = direct.Analysis.p_safe
+        && result.Analysis.p_live = direct.Analysis.p_live
+        && result.Analysis.p_safe_live = direct.Analysis.p_safe_live))
+    points
+
+let markov_minority_fleet n =
+  let nodes =
+    List.init n (fun id ->
+        let process =
+          if id < 2 then
+            Faultmodel.Failure_process.Markov
+              { fail_rate = 1e-4; recover_rate = 1e-2 }
+          else Faultmodel.Failure_process.Static 0.02
+        in
+        Faultmodel.Node.make ~id (Faultmodel.Failure_process.to_curve process))
+  in
+  Faultmodel.Fleet.of_nodes nodes
+
+let test_run_horizon_incremental_matches_exact () =
+  (* The Auto fast path (incremental Poisson-binomial updates of the
+     moved factors) against a from-scratch Count_dp recompute each
+     round, on the mixed fleet shape where the fast path engages. *)
+  let fleet = markov_minority_fleet 9 in
+  let proto = Raft_model.protocol (Raft_model.default 9) in
+  let times = Analysis.horizon_times ~horizon:8766. ~rounds:12 in
+  let exact =
+    Analysis.run_horizon ~strategy:Analysis.Count_dp ~times proto fleet
+  in
+  let auto = Analysis.run_horizon ~strategy:Analysis.Auto ~times proto fleet in
+  List.iter2
+    (fun (e : Analysis.horizon_point) (a : Analysis.horizon_point) ->
+      Alcotest.(check (float 0.)) "same round" e.at a.at;
+      Alcotest.(check (float 1e-9)) "p_safe" e.result.Analysis.p_safe
+        a.result.Analysis.p_safe;
+      Alcotest.(check (float 1e-9)) "p_live" e.result.Analysis.p_live
+        a.result.Analysis.p_live;
+      Alcotest.(check (float 1e-9)) "p_safe_live" e.result.Analysis.p_safe_live
+        a.result.Analysis.p_safe_live)
+    exact auto;
+  (* The fast path must actually have engaged on the changed rounds. *)
+  Alcotest.(check bool) "incremental engine used" true
+    (List.exists
+       (fun (p : Analysis.horizon_point) ->
+         p.result.Analysis.engine = "incremental-pb")
+       auto)
+
+let test_horizon_bathtub_dip_flips_recommendation () =
+  (* E23: a fleet of bathtub curves (infant mortality 0.25 for the
+     first 2000h, then 0.01) looks fine to a static analysis at mission
+     end, but the trajectory minimum lands in the infant phase. A
+     liveness target between the two values is met by the static answer
+     and missed by the honest time-varying one — exactly the
+     recommendation dynamic analysis exists to flip. *)
+  let bathtub =
+    Faultmodel.Fault_curve.Bathtub
+      {
+        infant = Faultmodel.Fault_curve.Constant 0.25;
+        useful = Faultmodel.Fault_curve.Constant 0.01;
+        wearout = Faultmodel.Fault_curve.Constant 0.02;
+        t1 = 2000.;
+        t2 = 8000.;
+      }
+  in
+  let fleet =
+    Faultmodel.Fleet.of_nodes
+      (List.init 5 (fun id -> Faultmodel.Node.make ~id bathtub))
+  in
+  let proto = Raft_model.protocol (Raft_model.default 5) in
+  let static = Analysis.run ~at:8766. proto fleet in
+  let times = Analysis.horizon_times ~horizon:8766. ~rounds:12 in
+  let points = Analysis.run_horizon ~times proto fleet in
+  let min_p_live =
+    List.fold_left
+      (fun acc (p : Analysis.horizon_point) ->
+        Float.min acc p.result.Analysis.p_live)
+      1. points
+  in
+  Alcotest.(check bool) "trajectory dips below the static answer" true
+    (min_p_live < static.Analysis.p_live);
+  let target = (min_p_live +. static.Analysis.p_live) /. 2. in
+  Alcotest.(check bool) "static analysis accepts the deployment" true
+    (static.Analysis.p_live >= target);
+  Alcotest.(check bool) "trajectory minimum rejects it" true
+    (min_p_live < target)
+
+let test_sweep_horizon_grid () =
+  (* Time-axis grid: markov-process rows must show p_live falling over
+     the horizon's rounds, while a static row stays flat. *)
+  let base =
+    match
+      Scenario.make
+        ~processes:
+          (List.init 3 (fun _ ->
+               Faultmodel.Failure_process.Markov
+                 { fail_rate = 2e-4; recover_rate = 3e-4 }))
+        ~horizon:8766. ~rounds:3 ~protocol:"raft" ~mix:[ (3, 0.02) ] ()
+    with
+    | Ok s -> s
+    | Error msg -> Alcotest.fail msg
+  in
+  let static s =
+    Scenario.with_processes
+      (List.init 3 (fun _ -> Faultmodel.Failure_process.Static 0.02))
+      s
+  in
+  let table =
+    Sweep.horizon_grid ~base
+      ~rows:[ ("markov", Fun.id); ("static", static) ]
+      ()
+  in
+  let csv = Report.to_csv table in
+  match String.split_on_char '\n' (String.trim csv) with
+  | [ _header; markov_row; static_row ] -> (
+      let cells row =
+        let percent s =
+          float_of_string (String.sub s 0 (String.length s - 1))
+        in
+        match String.split_on_char ',' row with
+        | _label :: cells -> List.map percent cells
+        | [] -> Alcotest.fail "row shape"
+      in
+      match (cells markov_row, cells static_row) with
+      | [ m1; m2; m3 ], [ s1; s2; s3 ] ->
+          Alcotest.(check bool) "markov availability decays" true
+            (m1 > m2 && m2 > m3);
+          Alcotest.(check (float 1e-12)) "static row flat" s1 s2;
+          Alcotest.(check (float 1e-12)) "static row flat tail" s2 s3
+      | _ -> Alcotest.fail "unexpected cell count")
+  | _ -> Alcotest.fail "unexpected grid shape"
+
+let test_sweep_horizon_grid_requires_horizon () =
+  Alcotest.check_raises "horizon_grid requires a horizon"
+    (Invalid_argument "Sweep.horizon_grid: base scenario has no horizon")
+    (fun () ->
+      ignore
+        (Sweep.horizon_grid
+           ~base:(Scenario.uniform ~protocol:"raft" ~n:3 ~p:0.02 ())
+           ~rows:[ ("static", Fun.id) ]
+           ()))
+
 let test_compare_deployments_generic () =
   (* The generic comparison API on two arbitrary deployments. *)
   let deployment n p =
@@ -903,6 +1061,15 @@ let suite =
     Alcotest.test_case "tradeoff 4 vs 5 (E6)" `Quick test_tradeoff_pbft_4_vs_5;
     Alcotest.test_case "tradeoff 5 safer than 7 (E6)" `Quick test_tradeoff_5_safer_than_7;
     Alcotest.test_case "tradeoff sweep" `Quick test_tradeoff_sweep_range;
+    Alcotest.test_case "run_horizon static is run" `Quick
+      test_run_horizon_static_is_run;
+    Alcotest.test_case "run_horizon incremental matches exact" `Quick
+      test_run_horizon_incremental_matches_exact;
+    Alcotest.test_case "horizon bathtub dip (E23)" `Quick
+      test_horizon_bathtub_dip_flips_recommendation;
+    Alcotest.test_case "sweep horizon grid" `Quick test_sweep_horizon_grid;
+    Alcotest.test_case "sweep horizon grid requires horizon" `Quick
+      test_sweep_horizon_grid_requires_horizon;
     Alcotest.test_case "compare deployments generic" `Quick test_compare_deployments_generic;
     Alcotest.test_case "equivalence E3" `Quick test_equivalence_e3;
     Alcotest.test_case "equivalence unreachable" `Quick test_equivalence_unreachable;

@@ -320,6 +320,86 @@ let seeded_bug_found_shrunk_replayed () =
          including the failure detail baked into the message. *)
       Alcotest.(check string) "replay deterministic" (replay ()) (replay ())
 
+let process_fault_rejects () =
+  let fault_plan kind_fields =
+    Obs.Json.Obj
+      [
+        ( "faults",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                (("node", Obs.Json.Int 0)
+                :: (kind_fields @ [ ("at", Obs.Json.Int 0) ]));
+            ] );
+      ]
+  in
+  let process_fields fail_rate recover_rate =
+    [
+      ("kind", Obs.Json.String "process");
+      ("fail_rate", Obs.Json.Float fail_rate);
+      ("recover_rate", Obs.Json.Float recover_rate);
+    ]
+  in
+  let check protocol name plan =
+    let sys = Dst.Sim_case.system protocol in
+    let parts =
+      sys.Dst.Harness.encode (sys.Dst.Harness.generate (Prob.Rng.create 7))
+    in
+    match sys.Dst.Harness.decode { parts with Dst.Repro.plan } with
+    | Ok _ -> Alcotest.failf "sim decoder accepted %s" name
+    | Error _ -> ()
+  in
+  (* Process schedules model crash/recover churn, not equivocation:
+     only the CFT protocols with restart support take them. *)
+  check Dst.Sim_case.Pbft "process fault on pbft"
+    (fault_plan (process_fields 1e-4 1e-3));
+  check Dst.Sim_case.Benor "process fault on benor"
+    (fault_plan (process_fields 1e-4 1e-3));
+  check Dst.Sim_case.Raft "zero fail_rate" (fault_plan (process_fields 0. 1e-3));
+  check Dst.Sim_case.Raft "negative recover_rate"
+    (fault_plan (process_fields 1e-4 (-1.)));
+  check Dst.Sim_case.Raft "nan fail_rate"
+    (fault_plan (process_fields Float.nan 1e-3))
+
+let process_repro_recovery_dependence () =
+  (* The pinned artifact's liveness pass must genuinely hinge on the
+     process-faulted node recovering: two permanent crashes leave 2 of
+     5, below the majority the liveness invariant demands, so the
+     obligation set only reaches 3 because node 4's sampled outages all
+     close by the midpoint. *)
+  let path =
+    let dir =
+      List.find_opt Sys.file_exists [ "repro"; "test/repro" ]
+      |> Option.value ~default:"repro"
+    in
+    Filename.concat dir "sim_raft_process_recovery.json"
+  in
+  match Dst.Repro.read ~path with
+  | Error msg -> Alcotest.failf "pinned process repro unreadable: %s" msg
+  | Ok r -> (
+      Alcotest.(check string) "system" "sim-raft" r.Dst.Repro.system;
+      Alcotest.(check string) "invariant" "liveness" r.Dst.Repro.invariant;
+      Alcotest.(check bool) "expect pass" true (r.Dst.Repro.expect = `Pass);
+      let sys = Dst.Sim_case.system Dst.Sim_case.Raft in
+      match sys.Dst.Harness.decode r.Dst.Repro.parts with
+      | Error msg -> Alcotest.failf "pinned case does not decode: %s" msg
+      | Ok case ->
+          Alcotest.(check (list int))
+            "liveness depends on node 4 recovering" [ 4 ]
+            (Dst.Sim_case.recovered_nodes case);
+          let crashed =
+            List.filter_map
+              (fun f ->
+                match f.Dst.Sim_case.kind with
+                | Dst.Sim_case.Crash -> Some f.Dst.Sim_case.node
+                | _ -> None)
+              case.Dst.Sim_case.faults
+          in
+          Alcotest.(check int)
+            "crashes alone leave a minority"
+            (case.Dst.Sim_case.n - 3)
+            (List.length crashed))
+
 (* --- The committed corpus ----------------------------------------------- *)
 
 let corpus_files () =
@@ -383,6 +463,10 @@ let suite =
     qtest prop_sim_case_roundtrip;
     Alcotest.test_case "sim decoder rejects out-of-envelope cases" `Quick
       sim_decode_rejects;
+    Alcotest.test_case "sim decoder rejects bad process faults" `Quick
+      process_fault_rejects;
+    Alcotest.test_case "process repro: liveness depends on recovery" `Quick
+      process_repro_recovery_dependence;
     Alcotest.test_case "seeded id:0 bug: found, shrunk small, replays" `Slow
       seeded_bug_found_shrunk_replayed;
     Alcotest.test_case "corpus: every artifact validates" `Quick

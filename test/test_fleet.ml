@@ -42,7 +42,7 @@ let tight_case () =
 (* --- Stream --------------------------------------------------------- *)
 
 let test_stream_determinism () =
-  let cfg = Stream.default_config ~seed:11 ~nodes:7 in
+  let cfg = Stream.default_config ~seed:11 ~nodes:7 () in
   let run () =
     let s = Stream.create cfg in
     List.concat_map
@@ -66,7 +66,7 @@ let test_stream_determinism () =
 
 let test_stream_drift_and_replace () =
   let cfg =
-    { (Stream.default_config ~seed:3 ~nodes:4) with Stream.drift_every = 1 }
+    { (Stream.default_config ~seed:3 ~nodes:4 ()) with Stream.drift_every = 1 }
   in
   let s = Stream.create cfg in
   let before = Array.init 4 (Stream.ground_truth_afr s) in
@@ -79,6 +79,53 @@ let test_stream_drift_and_replace () =
   Stream.replace s 0 ~afr:0.02;
   Alcotest.(check (float 0.)) "replace resets truth" 0.02
     (Stream.ground_truth_afr s 0)
+
+let test_stream_dynamic_determinism () =
+  (* Dynamic mode replaces step drift with per-node Markov degradation;
+     the whole schedule must still be a pure function of the seed. *)
+  let cfg = Stream.default_config ~dynamic:true ~seed:11 ~nodes:7 () in
+  let run () =
+    let s = Stream.create cfg in
+    let events =
+      List.concat_map
+        (fun _ ->
+          List.map
+            (fun { Stream.node; observation } ->
+              ( node,
+                observation.Faultmodel.Telemetry.failures,
+                observation.Faultmodel.Telemetry.device_hours ))
+            (Stream.tick s))
+        [ (); (); (); (); () ]
+    in
+    (events, List.init 7 (Stream.ground_truth_degraded s))
+  in
+  let a, da = run () and b, db = run () in
+  Alcotest.(check int) "same event count" (List.length a) (List.length b);
+  List.iter2
+    (fun (n1, f1, h1) (n2, f2, h2) ->
+      Alcotest.(check int) "node" n1 n2;
+      Alcotest.(check int) "failures" f1 f2;
+      Alcotest.(check (float 0.)) "device_hours" h1 h2)
+    a b;
+  Alcotest.(check (list bool)) "same degradation states" da db
+
+let test_stream_ground_truth_process () =
+  let static = Stream.create (Stream.default_config ~seed:5 ~nodes:3 ()) in
+  (match Stream.ground_truth_process static 0 with
+  | Faultmodel.Failure_process.Curve _ -> ()
+  | p ->
+      Alcotest.failf "static stream truth must be a curve, got %s"
+        (Format.asprintf "%a" Faultmodel.Failure_process.pp p));
+  let dynamic =
+    Stream.create (Stream.default_config ~dynamic:true ~seed:5 ~nodes:3 ())
+  in
+  match Stream.ground_truth_process dynamic 0 with
+  | Faultmodel.Failure_process.Markov { fail_rate; recover_rate } ->
+      Alcotest.(check bool) "positive rates" true
+        (fail_rate > 0. && recover_rate > 0.)
+  | p ->
+      Alcotest.failf "dynamic stream truth must be markov, got %s"
+        (Format.asprintf "%a" Faultmodel.Failure_process.pp p)
 
 (* --- Controller ----------------------------------------------------- *)
 
@@ -136,8 +183,34 @@ let test_controller_validates () =
         (Controller.run
            {
              cfg with
-             Controller.stream = Stream.default_config ~seed:42 ~nodes:5;
+             Controller.stream = Stream.default_config ~seed:42 ~nodes:5 ();
            }))
+
+let contains ~affix s =
+  let k = String.length affix and n = String.length s in
+  let rec go i = i + k <= n && (String.sub s i k = affix || go (i + 1)) in
+  go 0
+
+let test_controller_dynamic_payload () =
+  (* The legacy payload bytes are sacred: "dynamic" appears only when
+     the mode is on. *)
+  let static = payload_bytes (Controller.run (tight_case ())) in
+  Alcotest.(check bool) "static payload has no dynamic key" false
+    (contains ~affix:"dynamic" static);
+  let dynamic_cfg =
+    let cfg = Controller.default_config ~seed:42 ~ticks:8 ~dynamic:true ~nodes:9 () in
+    { cfg with Controller.quorum = 7; target_live = Prob.Nines.to_prob 5. }
+  in
+  let o = Controller.run dynamic_cfg in
+  let dynamic = payload_bytes o in
+  Alcotest.(check bool) "dynamic payload flagged" true
+    (contains ~affix:{|"dynamic": true|} dynamic);
+  Alcotest.(check bool) "ingest payload flagged too" true
+    (contains ~affix:{|"dynamic": true|}
+       (Obs.Json.to_string (Controller.ingest_payload o)));
+  (* And the dynamic run is itself deterministic. *)
+  Alcotest.(check string) "dynamic run deterministic" dynamic
+    (payload_bytes (Controller.run dynamic_cfg))
 
 (* --- Wire parse/encode ---------------------------------------------- *)
 
@@ -148,6 +221,7 @@ let fleet_params nodes =
     seed = 42;
     quorum = Some 7;
     target_nines = 5.;
+    dynamic = false;
   }
 
 let parse_ok body =
@@ -202,6 +276,56 @@ let test_wire_bounds () =
        (Service.Wire.max_fleet_ticks + 1));
   reject {|{"nodes": 9, "quorum": 10}|};
   reject {|{"nodes": 9, "target_nines": 13}|}
+
+let test_wire_dynamic () =
+  (* Absent and false are the same wire state — one cache key, the
+     legacy bytes — while true round-trips and keys separately. *)
+  let off = Service.Wire.Fleet_recommend (fleet_params 9) in
+  let on =
+    Service.Wire.Fleet_recommend { (fleet_params 9) with Service.Wire.dynamic = true }
+  in
+  let parsed =
+    parse_ok
+      {|{"v": 3, "id": 0, "kind": "fleet_recommend", "params": {"nodes": 9, "ticks": 8, "quorum": 7, "target_nines": 5, "dynamic": true}}|}
+  in
+  Alcotest.(check string) "dynamic round-trips"
+    (Service.Wire.canonical_key on)
+    (Service.Wire.canonical_key parsed.Service.Wire.query);
+  Alcotest.(check bool) "distinct cache keys" true
+    (Service.Wire.canonical_key on <> Service.Wire.canonical_key off);
+  Alcotest.(check bool) "legacy key has no dynamic field" false
+    (contains ~affix:"dynamic" (Service.Wire.canonical_key off));
+  let explicit_false =
+    parse_ok
+      {|{"v": 3, "id": 0, "kind": "fleet_recommend", "params": {"nodes": 9, "ticks": 8, "quorum": 7, "target_nines": 5, "dynamic": false}}|}
+  in
+  Alcotest.(check string) "explicit false normalizes to the legacy key"
+    (Service.Wire.canonical_key off)
+    (Service.Wire.canonical_key explicit_false.Service.Wire.query);
+  match
+    Service.Wire.parse_request
+      {|{"v": 3, "id": 0, "kind": "fleet_recommend", "params": {"nodes": 9, "dynamic": 1}}|}
+  with
+  | Error (_, Service.Wire.Bad_request, _) -> ()
+  | Ok _ -> Alcotest.fail "non-boolean dynamic accepted"
+  | Error (_, code, msg) ->
+      Alcotest.failf "wrong error %s (%s)" (Service.Wire.code_string code) msg
+
+let test_router_dynamic_matches_controller () =
+  let dynamic_cfg =
+    let cfg = Controller.default_config ~seed:42 ~ticks:8 ~dynamic:true ~nodes:9 () in
+    { cfg with Controller.quorum = 7; target_live = Prob.Nines.to_prob 5. }
+  in
+  let direct = payload_bytes (Controller.run dynamic_cfg) in
+  let query =
+    Service.Wire.Fleet_recommend { (fleet_params 9) with Service.Wire.dynamic = true }
+  in
+  match Service.Router.handle query with
+  | Ok payload ->
+      Alcotest.(check string) "router dynamic == controller renderer" direct
+        (Obs.Json.to_string payload)
+  | Error (code, msg) ->
+      Alcotest.failf "router failed: %s (%s)" (Service.Wire.code_string code) msg
 
 (* --- Router and e2e byte identity ------------------------------------ *)
 
@@ -288,6 +412,37 @@ let test_dst_fleet_codec () =
     | Error msg -> Alcotest.failf "generated case does not decode: %s" msg
   done
 
+let test_dst_fleet_dynamic_codec () =
+  let sys = Dst.Fleet_case.system () in
+  let case =
+    {
+      Dst.Fleet_case.nodes = 9;
+      ticks = 8;
+      seed = 42;
+      quorum = 7;
+      target_nines = 5.;
+      dynamic = true;
+    }
+  in
+  let encoded = sys.Dst.Harness.encode case in
+  Alcotest.(check bool) "dynamic encoded" true
+    (contains ~affix:{|"dynamic": true|}
+       (Obs.Json.to_string encoded.Dst.Repro.scenario));
+  (match sys.Dst.Harness.decode encoded with
+  | Ok back ->
+      if back <> case then Alcotest.fail "dynamic decode . encode not identity"
+  | Error msg -> Alcotest.failf "dynamic case does not decode: %s" msg);
+  let static = { case with Dst.Fleet_case.dynamic = false } in
+  Alcotest.(check bool) "static artifact keeps legacy bytes" false
+    (contains ~affix:"dynamic"
+       (Obs.Json.to_string (sys.Dst.Harness.encode static).Dst.Repro.scenario));
+  (* Shrinking a failing dynamic case tries static first. *)
+  match sys.Dst.Harness.candidates case with
+  | first :: _ ->
+      Alcotest.(check bool) "first shrink candidate disables dynamic" false
+        first.Dst.Fleet_case.dynamic
+  | [] -> Alcotest.fail "dynamic case must shrink"
+
 let test_dst_fleet_registered () =
   Alcotest.(check bool) "fleet is a registry name" true
     (List.mem "fleet" Dst.Registry.names);
@@ -328,6 +483,17 @@ let suite =
     Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
     Alcotest.test_case "stream drift and replace" `Quick
       test_stream_drift_and_replace;
+    Alcotest.test_case "stream dynamic determinism" `Quick
+      test_stream_dynamic_determinism;
+    Alcotest.test_case "stream ground-truth process" `Quick
+      test_stream_ground_truth_process;
+    Alcotest.test_case "controller dynamic payload" `Quick
+      test_controller_dynamic_payload;
+    Alcotest.test_case "wire dynamic flag" `Quick test_wire_dynamic;
+    Alcotest.test_case "router dynamic matches controller" `Quick
+      test_router_dynamic_matches_controller;
+    Alcotest.test_case "dst fleet dynamic codec" `Quick
+      test_dst_fleet_dynamic_codec;
     Alcotest.test_case "controller deterministic" `Quick
       test_controller_deterministic;
     Alcotest.test_case "controller recommends" `Quick test_controller_recommends;

@@ -140,6 +140,47 @@ let test_ctmc_simulation_agrees_with_absorption () =
   let mean = !total /. float_of_int n in
   Alcotest.(check bool) "mean ~ 2" true (Float.abs (mean -. 2.) < 0.15)
 
+let test_ctmc_transient_two_state_closed_form () =
+  (* On/off chain, fail rate lambda, recover rate mu, started up:
+     P(down at t) = pi_down * (1 - e^{-(lambda+mu) t}). *)
+  let lambda = 2e-4 and mu = 5e-3 in
+  let chain = Ctmc.create 2 in
+  Ctmc.add_rate chain ~src:0 ~dst:1 lambda;
+  Ctmc.add_rate chain ~src:1 ~dst:0 mu;
+  List.iter
+    (fun t ->
+      let dist = Ctmc.transient chain ~p0:[| 1.; 0. |] ~t in
+      let pi = lambda /. (lambda +. mu) in
+      let expected = pi *. (1. -. exp (-.(lambda +. mu) *. t)) in
+      check_float ~eps:1e-9 (Printf.sprintf "p_down at %g" t) expected dist.(1);
+      check_float ~eps:1e-9
+        (Printf.sprintf "mass conserved at %g" t)
+        1.
+        (dist.(0) +. dist.(1)))
+    [ 0.; 1.; 100.; 8766.; 1e6 ]
+
+let test_failure_process_markov_matches_ctmc () =
+  (* The Failure_process Markov marginal is the analytic transient of
+     the very same two-state CTMC — cross-validate the closed form in
+     faultmodel against the matrix-exponential path in this library. *)
+  List.iter
+    (fun (fail_rate, recover_rate) ->
+      let process =
+        Faultmodel.Failure_process.Markov { fail_rate; recover_rate }
+      in
+      let chain = Ctmc.create 2 in
+      Ctmc.add_rate chain ~src:0 ~dst:1 fail_rate;
+      Ctmc.add_rate chain ~src:1 ~dst:0 recover_rate;
+      List.iter
+        (fun t ->
+          let dist = Ctmc.transient chain ~p0:[| 1.; 0. |] ~t in
+          check_float ~eps:1e-9
+            (Printf.sprintf "marginal(%g,%g) at %g" fail_rate recover_rate t)
+            dist.(1)
+            (Faultmodel.Failure_process.marginal process t))
+        [ 0.; 0.5; 24.; 720.; 8766.; 5e4 ])
+    [ (2e-4, 5e-3); (1e-3, 1e-3); (5e-2, 1e-4); (1e-6, 1.) ]
+
 (* --- Repair model --------------------------------------------------------- *)
 
 let test_repair_single_node () =
@@ -218,6 +259,10 @@ let suite =
     Alcotest.test_case "absorption unreachable" `Quick test_ctmc_absorption_unreachable;
     Alcotest.test_case "absorption race" `Quick test_ctmc_absorption_probability_race;
     Alcotest.test_case "simulation agrees" `Slow test_ctmc_simulation_agrees_with_absorption;
+    Alcotest.test_case "transient two-state closed form" `Quick
+      test_ctmc_transient_two_state_closed_form;
+    Alcotest.test_case "failure process matches ctmc" `Quick
+      test_failure_process_markov_matches_ctmc;
     Alcotest.test_case "repair single node" `Quick test_repair_single_node;
     Alcotest.test_case "mttdl RAID1 closed form" `Quick test_repair_mttdl_raid1_closed_form;
     Alcotest.test_case "mttf grows with n" `Quick test_repair_mttf_grows_with_n;

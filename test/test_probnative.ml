@@ -492,6 +492,142 @@ let test_reputation_multipliers_bias_elections () =
     true
     (!reliable_wins >= 15)
 
+(* --- Uncertainty-weighted selection ---------------------------------------- *)
+
+let uncertainty_case_gen =
+  (* A small mixed fleet plus a per-node uncertainty (confidence-interval
+     half-width, 0..1) for each of its nodes. *)
+  let open QCheck.Gen in
+  let prob = map (fun k -> float_of_int k /. 500.) (int_range 1 60) in
+  let* groups = list_size (int_range 1 3) (pair (int_range 2 5) prob) in
+  let n = List.fold_left (fun acc (count, _) -> acc + count) 0 groups in
+  let* unc =
+    list_repeat n (map (fun k -> float_of_int k /. 10.) (int_range 0 10))
+  in
+  return (groups, Array.of_list unc)
+
+let uncertainty_case_arb =
+  QCheck.make
+    ~print:(fun (groups, unc) ->
+      Printf.sprintf "mix=%s unc=%s"
+        (QCheck.Print.(list (pair int float)) groups)
+        (QCheck.Print.(array float) unc))
+    uncertainty_case_gen
+
+let prop_weighted_committee_zero_is_ranked =
+  QCheck.Test.make ~count:100
+    ~name:"reliability_weighted with zero uncertainty = reliability_ranked"
+    uncertainty_case_arb
+    (fun (groups, _) ->
+      let fleet = Faultmodel.Fleet.mixed groups in
+      let target = 0.99 in
+      match
+        ( Committee.reliability_ranked ~target fleet,
+          Committee.reliability_weighted
+            ~uncertainty:(fun _ -> 0.)
+            ~target fleet )
+      with
+      | None, None -> true
+      | Some a, Some b -> a.Committee.members = b.Committee.members
+      | _ -> false)
+
+let prop_weighted_committee_meets_target =
+  QCheck.Test.make ~count:100
+    ~name:"reliability_weighted meets target, never undercuts ranked size"
+    uncertainty_case_arb
+    (fun (groups, unc) ->
+      let fleet = Faultmodel.Fleet.mixed groups in
+      let target = 0.99 in
+      match
+        Committee.reliability_weighted
+          ~uncertainty:(fun id -> unc.(id))
+          ~target fleet
+      with
+      | None -> true
+      | Some c -> (
+          c.Committee.p_safe_live >= target
+          &&
+          (* The unweighted ranking is the optimal order for any k, so
+             discounting can only need at least as many members. *)
+          match Committee.reliability_ranked ~target fleet with
+          | None -> false
+          | Some best ->
+              List.length c.Committee.members
+              >= List.length best.Committee.members))
+
+let prop_weighted_raft_zero_is_best =
+  QCheck.Test.make ~count:100
+    ~name:"best_raft_weighted with zero uncertainty = best_raft"
+    uncertainty_case_arb
+    (fun (groups, _) ->
+      let fleet = Faultmodel.Fleet.mixed groups in
+      let target_live = 0.99 in
+      match
+        ( Dynamic_quorum.best_raft ~target_live fleet,
+          Dynamic_quorum.best_raft_weighted
+            ~uncertainty:(fun _ -> 0.)
+            ~target_live fleet )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          a.Dynamic_quorum.params = b.Dynamic_quorum.params
+          && a.Dynamic_quorum.p_live = b.Dynamic_quorum.p_live
+      | _ -> false)
+
+let prop_weighted_raft_attainable_implies_unweighted =
+  QCheck.Test.make ~count:100
+    ~name:"best_raft_weighted attainable => best_raft attainable"
+    uncertainty_case_arb
+    (fun (groups, unc) ->
+      let fleet = Faultmodel.Fleet.mixed groups in
+      let target_live = 0.99 in
+      match
+        Dynamic_quorum.best_raft_weighted
+          ~uncertainty:(fun id -> unc.(id))
+          ~target_live fleet
+      with
+      | None -> true
+      | Some c ->
+          (* Discounted reliabilities are pessimistic: a target met
+             under them is met under the truth. *)
+          c.Dynamic_quorum.p_live >= target_live
+          && Dynamic_quorum.best_raft ~target_live fleet <> None)
+
+let test_weighted_validation () =
+  let fleet = Faultmodel.Fleet.uniform ~n:5 ~p:0.02 () in
+  Alcotest.check_raises "committee negative uncertainty"
+    (Invalid_argument "Committee.reliability_weighted: bad uncertainty")
+    (fun () ->
+      ignore
+        (Committee.reliability_weighted
+           ~uncertainty:(fun _ -> -0.5)
+           ~target:0.99 fleet));
+  Alcotest.check_raises "raft nan uncertainty"
+    (Invalid_argument "Dynamic_quorum.best_raft_weighted: bad uncertainty")
+    (fun () ->
+      ignore
+        (Dynamic_quorum.best_raft_weighted
+           ~uncertainty:(fun _ -> Float.nan)
+           ~target_live:0.99 fleet))
+
+let test_weighted_prefers_trusted_node () =
+  (* Node 0 is nominally the most reliable but its estimate has a wide
+     confidence interval; the weighted selection passes it over for a
+     slightly worse, well-measured node. *)
+  let fleet = Faultmodel.Fleet.mixed [ (1, 0.010); (4, 0.012) ] in
+  let unc = [| 0.9; 0.; 0.; 0.; 0. |] in
+  let members = function
+    | None -> Alcotest.fail "target attainable"
+    | Some c -> c.Committee.members
+  in
+  Alcotest.(check (list int)) "unweighted takes node 0" [ 0 ]
+    (members (Committee.reliability_ranked ~target:0.9 fleet));
+  Alcotest.(check (list int)) "weighted passes it over" [ 1 ]
+    (members
+       (Committee.reliability_weighted
+          ~uncertainty:(fun id -> unc.(id))
+          ~target:0.9 fleet))
+
 let suite =
   [
     Alcotest.test_case "raft sizings structural" `Quick test_raft_sizings_all_structurally_safe;
@@ -530,4 +666,11 @@ let suite =
       test_reputation_multipliers_bias_elections;
     Alcotest.test_case "reputation improves tail latency" `Slow
       test_reputation_improves_tail_latency;
+    QCheck_alcotest.to_alcotest prop_weighted_committee_zero_is_ranked;
+    QCheck_alcotest.to_alcotest prop_weighted_committee_meets_target;
+    QCheck_alcotest.to_alcotest prop_weighted_raft_zero_is_best;
+    QCheck_alcotest.to_alcotest prop_weighted_raft_attainable_implies_unweighted;
+    Alcotest.test_case "weighted validation" `Quick test_weighted_validation;
+    Alcotest.test_case "weighted prefers trusted node" `Quick
+      test_weighted_prefers_trusted_node;
   ]

@@ -116,6 +116,135 @@ let test_transformers () =
     (Invalid_argument "Scenario: mix group counts must be in [1, 200]")
     (fun () -> ignore (Scenario.with_mix [ (201, 0.01) ] s))
 
+(* --- Failure processes and horizons ---------------------------------- *)
+
+let test_process_fields () =
+  let processes =
+    [
+      Faultmodel.Failure_process.Static 0.02;
+      Faultmodel.Failure_process.Markov
+        { fail_rate = 1e-4; recover_rate = 1e-2 };
+      Faultmodel.Failure_process.Curve (Faultmodel.Fault_curve.Constant 0.05);
+    ]
+  in
+  let s =
+    ok_exn
+      (Scenario.make ~processes ~horizon:8766. ~rounds:4 ~protocol:"raft"
+         ~mix:[ (3, 0.02) ] ())
+  in
+  Alcotest.(check (option (float 0.))) "horizon" (Some 8766.)
+    (Scenario.horizon s);
+  Alcotest.(check (option int)) "rounds" (Some 4) (Scenario.rounds s);
+  Alcotest.(check int) "processes kept" 3
+    (List.length (Option.get (Scenario.processes s)));
+  (* All three kinds survive the canonical encoding, value and bytes. *)
+  let s' = ok_exn (Scenario.of_string (Scenario.to_string s)) in
+  Alcotest.(check bool) "roundtrip equal" true (Scenario.equal s s');
+  Alcotest.(check string) "canonical fixpoint" (Scenario.to_string s)
+    (Scenario.to_string s');
+  (* with_horizon after the fact is the same scenario as at birth. *)
+  let grown =
+    Scenario.with_horizon ~rounds:4
+      8766.
+      (ok_exn (Scenario.make ~processes ~protocol:"raft" ~mix:[ (3, 0.02) ] ()))
+  in
+  Alcotest.(check bool) "with_horizon = make" true (Scenario.equal s grown)
+
+let test_legacy_bytes_without_processes () =
+  (* The pre-process encoding is untouched: a scenario that doesn't use
+     the new fields serializes to exactly the old bytes, with no
+     processes/horizon/rounds keys for old parsers to trip on. *)
+  let s = scenario ~protocol:"raft" [ (5, 0.01) ] in
+  let bytes = Scenario.to_string s in
+  Alcotest.(check string) "old bytes unchanged"
+    {|{"protocol": "raft", "mix": [[5, 0.01]]}|} bytes;
+  let contains key =
+    let k = String.length key and n = String.length bytes in
+    let rec go i = i + k <= n && (String.sub bytes i k = key || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "no %S key" key) false
+        (contains key))
+    [ "processes"; "horizon"; "rounds" ]
+
+let test_process_rejects () =
+  let make ?processes ?horizon ?rounds () =
+    Scenario.make ?processes ?horizon ?rounds ~protocol:"raft"
+      ~mix:[ (3, 0.02) ] ()
+  in
+  expect_error "process count mismatch"
+    (make ~processes:[ Faultmodel.Failure_process.Static 0.5 ] ());
+  expect_error "invalid process"
+    (make
+       ~processes:
+         [
+           Faultmodel.Failure_process.Static 0.5;
+           Faultmodel.Failure_process.Markov
+             { fail_rate = -1.; recover_rate = 0.1 };
+           Faultmodel.Failure_process.Static 0.5;
+         ]
+       ());
+  expect_error "rounds without horizon" (make ~rounds:4 ());
+  expect_error "rounds above cap"
+    (make ~horizon:100. ~rounds:(Scenario.max_rounds + 1) ());
+  expect_error "rounds zero" (make ~horizon:100. ~rounds:0 ());
+  expect_error "horizon non-positive" (make ~horizon:0. ());
+  expect_error "horizon nan" (make ~horizon:Float.nan ());
+  expect_error "markov bad rate in json"
+    (Scenario.of_string
+       {|{"protocol": "raft", "mix": [[1, 0.02]], "processes": [{"kind": "markov", "fail_rate": -1, "recover_rate": 0.1}]}|});
+  expect_error "unknown process kind"
+    (Scenario.of_string
+       {|{"protocol": "raft", "mix": [[1, 0.02]], "processes": [{"kind": "weird"}]}|})
+
+(* Each committed scenario file exercises one process kind; CI greps
+   these filenames (and the kinds inside them) so every Failure_process
+   constructor stays covered by a parsed-and-analyzed scenario. *)
+
+let scenario_file name =
+  let dir =
+    match List.find_opt Sys.file_exists [ "scenarios"; "test/scenarios" ] with
+    | Some d -> d
+    | None -> Alcotest.fail "test scenario directory not found"
+  in
+  let path = Filename.concat dir name in
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  ok_exn (Scenario.of_string contents)
+
+let process_kind = function
+  | Faultmodel.Failure_process.Static _ -> "static"
+  | Faultmodel.Failure_process.Curve _ -> "curve"
+  | Faultmodel.Failure_process.Markov _ -> "markov"
+
+let test_scenario_files () =
+  List.iter
+    (fun (file, kind) ->
+      let s = scenario_file file in
+      let processes = Option.get (Scenario.processes s) in
+      Alcotest.(check int)
+        (file ^ " process per node")
+        (Scenario.size s) (List.length processes);
+      List.iter
+        (fun p -> Alcotest.(check string) (file ^ " kind") kind (process_kind p))
+        processes;
+      Alcotest.(check bool) (file ^ " has horizon") true
+        (Scenario.horizon s <> None);
+      (match Registry.validate s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "%s rejected by registry: %s" file msg);
+      match Registry.analyze_json s with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s failed analysis: %s" file msg)
+    [
+      ("processes_static.json", "static");
+      ("processes_markov.json", "markov");
+      ("processes_curve.json", "curve");
+    ]
+
 (* --- qcheck round-trips --------------------------------------------- *)
 
 let scenario_gen =
@@ -143,8 +272,35 @@ let scenario_gen =
   in
   let* at = opt (map (fun k -> float_of_int k *. 10.) (int_range 1 10000)) in
   let* seed = opt (int_range 0 1000) in
+  let* horizon =
+    opt (map (fun k -> float_of_int k *. 100.) (int_range 1 100))
+  in
+  let* rounds =
+    match horizon with
+    | None -> return None
+    | Some _ -> opt (int_range 1 Scenario.max_rounds)
+  in
+  let* processes =
+    let expand kind =
+      List.concat_map (fun (count, p) -> List.init count (fun _ -> kind p)) mix
+    in
+    oneofl
+      [
+        None;
+        Some (expand (fun p -> Faultmodel.Failure_process.Static p));
+        Some
+          (expand (fun p ->
+               Faultmodel.Failure_process.Curve
+                 (Faultmodel.Fault_curve.Constant p)));
+        Some
+          (expand (fun _ ->
+               Faultmodel.Failure_process.Markov
+                 { fail_rate = 1e-4; recover_rate = 1e-2 }));
+      ]
+  in
   match
-    Scenario.make ?byz_fraction ~quorums ?stakes ?at ?seed ~protocol ~mix ()
+    Scenario.make ?byz_fraction ~quorums ?stakes ?processes ?at ?seed ?horizon
+      ?rounds ~protocol ~mix ()
   with
   | Ok s -> return s
   | Error _ ->
@@ -253,12 +409,42 @@ let test_payload_shape () =
         (List.map fst fields)
   | Ok _ -> Alcotest.fail "payload not an object"
 
+let test_horizon_payload_shape () =
+  (* A scenario with a horizon dispatches to the trajectory payload —
+     its field order is as load-bearing as the flat one's. *)
+  let s =
+    Scenario.with_horizon ~rounds:3 8766.
+      (Scenario.uniform ~protocol:"raft" ~n:5 ~p:0.01 ())
+  in
+  match Registry.analyze_json s with
+  | Error msg -> Alcotest.failf "analyze_json horizon: %s" msg
+  | Ok (Obs.Json.Obj fields) -> (
+      Alcotest.(check (list string))
+        "canonical horizon payload field order"
+        [ "protocol"; "n"; "horizon"; "rounds"; "min_p_live"; "trajectory" ]
+        (List.map fst fields);
+      match List.assoc "trajectory" fields with
+      | Obs.Json.List points ->
+          Alcotest.(check int) "one point per round" 3 (List.length points);
+          List.iter
+            (function
+              | Obs.Json.Obj (("at", _) :: _) -> ()
+              | _ -> Alcotest.fail "trajectory point must lead with at")
+            points
+      | _ -> Alcotest.fail "trajectory not a list")
+  | Ok _ -> Alcotest.fail "payload not an object"
+
 let suite =
   [
     Alcotest.test_case "make bounds" `Quick test_make_bounds;
     Alcotest.test_case "shorthand equals mix" `Quick test_shorthand_equals_mix;
     Alcotest.test_case "of_json rejects" `Quick test_of_json_rejects;
     Alcotest.test_case "transformers" `Quick test_transformers;
+    Alcotest.test_case "process fields" `Quick test_process_fields;
+    Alcotest.test_case "legacy bytes without processes" `Quick
+      test_legacy_bytes_without_processes;
+    Alcotest.test_case "process rejects" `Quick test_process_rejects;
+    Alcotest.test_case "scenario files" `Quick test_scenario_files;
     test_json_roundtrip;
     test_string_roundtrip;
     Alcotest.test_case "registry raft" `Quick test_registry_raft;
@@ -273,4 +459,6 @@ let suite =
     Alcotest.test_case "registry rejects" `Quick test_registry_rejects;
     Alcotest.test_case "registry byz default" `Quick test_registry_byz_default;
     Alcotest.test_case "payload shape" `Quick test_payload_shape;
+    Alcotest.test_case "horizon payload shape" `Quick
+      test_horizon_payload_shape;
   ]

@@ -391,6 +391,103 @@ let validate_fleet_bench path doc =
           (fun (n, s) -> Printf.sprintf "n=%d %.0fx" n s)
           checked))
 
+(* --- probcons-dynamic-bench/1 -------------------------------------------- *)
+
+(* Paired rows per fleet size: a "horizon-exact" row (from-scratch DP
+   every trajectory round) and a "horizon-incremental" row (changed
+   rounds through the incremental Poisson-binomial engine). Two claims
+   are archived and both are checked: at every size >= 100 the
+   incremental kernel is at least 5x faster per round, and its
+   trajectory never deviates from the exact one by more than 1e-9 in
+   p_live. *)
+let dynamic_speedup_floor = 5.
+let dynamic_speedup_min_n = 100
+let dynamic_max_diff = 1e-9
+
+let validate_dynamic_bench path doc =
+  (match num "horizon" doc with
+  | Some v when Float.is_finite v && v > 0. -> ()
+  | Some v -> fail "horizon not finite and positive (%g)" v
+  | None -> fail "missing numeric horizon");
+  let rows =
+    match Option.bind (Obs.Json.member "rows" doc) Obs.Json.to_list with
+    | Some [] -> fail "rows is empty"
+    | Some rows -> rows
+    | None -> fail "missing rows list"
+  in
+  let per_size = Hashtbl.create 8 in
+  List.iteri
+    (fun i row ->
+      let n =
+        match int_field "n" row with
+        | Some n when n >= 1 -> n
+        | Some n -> fail "row %d: n must be positive, got %d" i n
+        | None -> fail "row %d: missing integer n" i
+      in
+      let kernel =
+        match str "kernel" row with
+        | Some ("horizon-exact" | "horizon-incremental") as k -> Option.get k
+        | Some other -> fail "row %d: unknown kernel %S" i other
+        | None -> fail "row %d: missing kernel" i
+      in
+      (match int_field "rounds" row with
+      | Some r when r >= 1 -> ()
+      | _ -> fail "row %d: rounds must be a positive integer" i);
+      let ms =
+        match num "ms_per_round" row with
+        | Some v when Float.is_finite v && v > 0. -> v
+        | Some v ->
+            fail "row %d: ms_per_round not finite and positive (%g)" i v
+        | None -> fail "row %d: missing numeric ms_per_round" i
+      in
+      (match num "rounds_per_sec" row with
+      | Some v when Float.is_finite v && v > 0. -> ()
+      | Some v ->
+          fail "row %d: rounds_per_sec not finite and positive (%g)" i v
+      | None -> fail "row %d: missing numeric rounds_per_sec" i);
+      (match num "max_diff" row with
+      | Some v when Float.is_finite v && v >= 0. && v <= dynamic_max_diff -> ()
+      | Some v ->
+          fail
+            "row %d: max_diff %g outside [0, %g] — the incremental \
+             trajectory drifted from the exact one"
+            i v dynamic_max_diff
+      | None -> fail "row %d: missing numeric max_diff" i);
+      if Hashtbl.mem per_size (n, kernel) then
+        fail "row %d: duplicate (%d, %s) row" i n kernel;
+      Hashtbl.replace per_size (n, kernel) ms)
+    rows;
+  let sizes =
+    Hashtbl.fold (fun (n, _) _ acc -> if List.mem n acc then acc else n :: acc)
+      per_size []
+    |> List.sort compare
+  in
+  let checked =
+    List.map
+      (fun n ->
+        let lookup kernel =
+          match Hashtbl.find_opt per_size (n, kernel) with
+          | Some ms -> ms
+          | None -> fail "n=%d: missing %S row" n kernel
+        in
+        let inc = lookup "horizon-incremental" in
+        let exact = lookup "horizon-exact" in
+        let speedup = exact /. inc in
+        if n >= dynamic_speedup_min_n && speedup < dynamic_speedup_floor then
+          fail
+            "n=%d: incremental (%.3f ms/round) is only %.1fx the exact \
+             kernel (%.3f ms/round); the floor is %.0fx"
+            n inc speedup exact dynamic_speedup_floor;
+        (n, speedup))
+      sizes
+  in
+  Printf.printf "%s: OK (dynamic bench, %d sizes: %s)\n" path
+    (List.length sizes)
+    (String.concat ", "
+       (List.map
+          (fun (n, s) -> Printf.sprintf "n=%d %.0fx" n s)
+          checked))
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
@@ -415,5 +512,6 @@ let () =
   | Some "probcons-service-bench/1" -> validate_service_bench path doc
   | Some "probcons-repro/1" -> validate_repro path doc
   | Some "probcons-fleet-bench/1" -> validate_fleet_bench path doc
+  | Some "probcons-dynamic-bench/1" -> validate_dynamic_bench path doc
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "missing schema tag"
