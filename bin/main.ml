@@ -121,7 +121,7 @@ let proto_name_arg =
     & info [ "protocol" ] ~docv:"PROTO"
         ~doc:
           (Printf.sprintf "Protocol model: one of %s (see $(b,protocols))."
-             (String.concat ", " Probcons.Registry.names)))
+             (String.concat ", " (Probcons.Registry.names ()))))
 
 let analyze_cmd =
   let byz_fraction_arg =
@@ -275,7 +275,7 @@ let protocols_cmd =
           ~doc:"Print one bare protocol name per line (for scripts).")
   in
   let run names_only () =
-    if names_only then List.iter print_endline Probcons.Registry.names
+    if names_only then List.iter print_endline (Probcons.Registry.names ())
     else begin
       let t =
         Probcons.Report.create
@@ -293,7 +293,7 @@ let protocols_cmd =
               | keys -> String.concat "," keys);
               M.doc;
             ])
-        Probcons.Registry.all;
+        (Probcons.Registry.all ());
       Probcons.Report.print ~title:"Protocol registry" t
     end
   in
@@ -777,6 +777,7 @@ let serve_cmd =
         max_connections;
         max_pipeline;
         max_wire = wire;
+        handler = Service.Server.router_handler;
       }
   in
   Cmd.v
@@ -1545,6 +1546,329 @@ let dynbench_cmd =
     (with_metrics
        Term.(const run $ seed_arg $ sizes_arg $ rounds_arg $ out_arg))
 
+(* --- replicate / replica-node ------------------------------------------ *)
+
+(* The hidden per-process entry point `replicate` execs for each
+   replica: one Node serving until SIGTERM. Argument names mirror
+   Replica.Node.config so the parent's child_argv is a transcription,
+   not a translation. *)
+let replica_node_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"I" ~doc:"Replica id in 0..n-1.")
+  in
+  let replicas_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "replicas" ] ~docv:"N" ~doc:"Deployment size.")
+  in
+  let base_port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "base-port" ] ~docv:"P" ~doc:"Raft-plane base port.")
+  in
+  let service_port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "service-port" ] ~docv:"P" ~doc:"Client-facing port.")
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR" ~doc:"Durable Raft state directory.")
+  in
+  let wire_arg =
+    Arg.(
+      value
+      & opt int Service.Wire.protocol_version
+      & info [ "wire" ] ~docv:"V" ~doc:"Highest wire framing accepted.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Run inter-replica links through seeded chaos proxies.")
+  in
+  let run id replicas base_port service_port seed state_dir wire chaos_seed ()
+      =
+    let chaos =
+      Option.map (fun s -> Service.Chaos.passthrough_plan ~seed:s ()) chaos_seed
+    in
+    let cfg =
+      {
+        (Replica.Node.default_config ~id ~n:replicas ~base_port ~service_port)
+        with
+        Replica.Node.seed;
+        state_dir;
+        wire_max = wire;
+        chaos;
+      }
+    in
+    let node = Replica.Node.start cfg in
+    Format.printf "replica %d/%d: raft %d, service %d%s@." id replicas
+      (Replica.Node.raft_port cfg id)
+      service_port
+      (match state_dir with Some d -> ", state " ^ d | None -> "");
+    let stop = Atomic.make false in
+    let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm on_signal;
+    Sys.set_signal Sys.sigint on_signal;
+    while not (Atomic.get stop) do
+      Thread.delay 0.05
+    done;
+    Replica.Node.stop node
+  in
+  Cmd.v
+    (cmd_info "replica-node"
+       ~doc:
+         "(internal) One replica process of a replicated deployment; \
+          normally exec'd by $(b,probcons replicate).")
+    (with_metrics
+       Term.(
+         const run $ id_arg $ replicas_arg $ base_port_arg $ service_port_arg
+         $ seed_arg $ state_dir_arg $ wire_arg $ chaos_seed_arg))
+
+let replicate_cmd =
+  let replicas_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas" ] ~docv:"N" ~doc:"Deployment size (3-7).")
+  in
+  let base_port_arg =
+    Arg.(
+      value & opt int 47100
+      & info [ "base-port" ] ~docv:"P"
+          ~doc:
+            "Base of the deployment's port range (raft plane, link \
+             proxies, then service ports).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 40.
+      & info [ "duration" ] ~docv:"S" ~doc:"Measured wall-clock seconds.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "window" ] ~docv:"S" ~doc:"Measurement window seconds.")
+  in
+  let probes_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "probes" ] ~docv:"K"
+          ~doc:"Probes per window (alternating put / plain get).")
+  in
+  let hours_arg =
+    Arg.(
+      value & opt float 0.125
+      & info [ "hours-per-second" ] ~docv:"H"
+          ~doc:"Mission hours elapsing per wall-clock second.")
+  in
+  let fail_rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "fail-rate" ] ~docv:"L"
+          ~doc:"Markov per-hour failure rate for the kill schedule.")
+  in
+  let recover_rate_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "recover-rate" ] ~docv:"M"
+          ~doc:"Markov per-hour recovery rate for the kill schedule.")
+  in
+  let static_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "static-p" ] ~docv:"P"
+          ~doc:
+            "Use a static failure process instead of the Markov rates \
+             (kills without scheduled recovery).")
+  in
+  let measure_arg =
+    Arg.(
+      value & flag
+      & info [ "measure" ]
+          ~doc:
+            "Run the availability experiment: kill/restart replicas on the \
+             sampled schedule, probe in windows, compare measured \
+             availability against the analytical prediction, and verify no \
+             acknowledged write was lost. Without this flag the deployment \
+             just serves until SIGINT.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"E"
+          ~doc:"Gate on |measured_mean - predicted_mean| (with --measure).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the probcons-repl-avail/1 artifact to $(docv).")
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root for per-replica durable state and logs (default: a \
+             fresh directory under the system temp dir).")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Front inter-replica links with seeded chaos proxies.")
+  in
+  let run replicas base_port seed duration window probes hours_per_second
+      fail_rate recover_rate static_p measure tolerance json state_dir
+      chaos_seed wire () =
+    if replicas < 1 || replicas > 9 then die "replicate: --replicas must be in 1..9";
+    let process =
+      match static_p with
+      | Some p -> Faultmodel.Failure_process.static p
+      | None -> (
+          match
+            Faultmodel.Failure_process.markov ~fail_rate ~recover_rate
+          with
+          | Ok p -> p
+          | Error e -> die "replicate: %s" e)
+    in
+    let state_root =
+      match state_dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "probcons-replicate-%d" (Unix.getpid ()))
+    in
+    if not (Sys.file_exists state_root) then Unix.mkdir state_root 0o755;
+    let child_argv ~id =
+      Array.of_list
+        ([
+           Sys.executable_name; "replica-node";
+           "--id"; string_of_int id;
+           "--replicas"; string_of_int replicas;
+           "--base-port"; string_of_int base_port;
+           "--service-port";
+           string_of_int
+             (Replica.Driver.service_port ~base_port ~replicas id);
+           "--seed"; string_of_int seed;
+           "--state-dir"; Filename.concat state_root (string_of_int id);
+           "--wire"; string_of_int wire;
+         ]
+        @
+        match chaos_seed with
+        | None -> []
+        | Some s -> [ "--chaos-seed"; string_of_int s ])
+    in
+    if measure then begin
+      let cfg =
+        {
+          Replica.Driver.replicas;
+          base_port;
+          seed;
+          process;
+          hours_per_second;
+          duration_seconds = duration;
+          window_seconds = window;
+          probes_per_window = probes;
+          tolerance;
+          chaos =
+            Option.map
+              (fun s -> Service.Chaos.passthrough_plan ~seed:s ())
+              chaos_seed;
+          wire;
+          state_root;
+          child_argv;
+          log = (fun msg -> Format.eprintf "replicate: %s@." msg);
+        }
+      in
+      match Replica.Driver.run cfg with
+      | Error e -> die "replicate: %s" e
+      | Ok artifact ->
+          let num field =
+            Option.bind (Obs.Json.member field artifact) Obs.Json.to_float
+            |> Option.value ~default:Float.nan
+          in
+          Format.printf
+            "measured %.4f vs predicted %.4f (abs error %.4f, tolerance %g)@."
+            (num "measured_mean") (num "predicted_mean") (num "abs_error")
+            tolerance;
+          Format.printf "writes: %d acked, %d lost; %d kills, %d restarts@."
+            (int_of_float (num "writes_acked"))
+            (int_of_float (num "writes_lost"))
+            (int_of_float (num "kills"))
+            (int_of_float (num "restarts"));
+          (match json with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Obs.Json.to_string artifact);
+              output_char oc '\n';
+              close_out oc;
+              Format.printf "artifact written to %s@." path);
+          if num "abs_error" > tolerance || num "writes_lost" > 0. then begin
+            Format.printf "FAIL: outside tolerance or acked writes lost@.";
+            exit 1
+          end
+    end
+    else begin
+      (* Supervise a long-lived deployment: spawn, print the port
+         layout, forward SIGINT/SIGTERM as a clean shutdown. *)
+      let pids =
+        Array.init replicas (fun i ->
+            let argv = child_argv ~id:i in
+            Unix.create_process argv.(0) argv Unix.stdin Unix.stdout
+              Unix.stderr)
+      in
+      Format.printf "%d replicas up; service ports %d-%d; Ctrl-C to stop@."
+        replicas
+        (Replica.Driver.service_port ~base_port ~replicas 0)
+        (Replica.Driver.service_port ~base_port ~replicas (replicas - 1));
+      let stop = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      Sys.set_signal Sys.sigterm on_signal;
+      Sys.set_signal Sys.sigint on_signal;
+      while not (Atomic.get stop) do
+        Thread.delay 0.1
+      done;
+      Array.iter
+        (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        pids;
+      Array.iter
+        (fun pid ->
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        pids
+    end
+  in
+  Cmd.v
+    (cmd_info "replicate"
+       ~doc:
+         "Serve reliability queries over a replicated deployment (each \
+          replica an OS process sequencing writes through the in-repo Raft) \
+          — and with $(b,--measure), kill replicas on a failure-process \
+          schedule while comparing measured availability against the \
+          analytical prediction.")
+    (with_metrics
+       Term.(
+         const run $ replicas_arg $ base_port_arg $ seed_arg $ duration_arg
+         $ window_arg $ probes_arg $ hours_arg $ fail_rate_arg
+         $ recover_rate_arg $ static_arg $ measure_arg $ tolerance_arg
+         $ json_arg $ state_dir_arg $ chaos_seed_arg $ client_wire_arg))
+
 let version_cmd =
   let run () =
     Format.printf "probcons %s@." version;
@@ -1563,7 +1887,8 @@ let main_cmd =
       analyze_cmd; protocols_cmd; tables_cmd; optimize_cmd; markov_cmd;
       simulate_cmd; committee_cmd; benor_cmd; mixed_cmd; endtoend_cmd;
       bounds_cmd; plan_cmd; sweep_cmd; serve_cmd; loadgen_cmd; chaos_cmd;
-      dst_cmd; servebench_cmd; fleet_cmd; dynbench_cmd; version_cmd;
+      dst_cmd; servebench_cmd; fleet_cmd; dynbench_cmd; replicate_cmd;
+      replica_node_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

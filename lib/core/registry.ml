@@ -53,7 +53,7 @@ let check_common ~name ~max_nodes ~quorum_keys ?(stakes_ok = false) s =
           errf "stakes only apply to the stake protocol (got %s)" name
         else Ok ()
 
-let run ~default_byz ?domains ?strategy s proto =
+let analyze_predicate ~default_byz ?domains ?strategy s proto =
   let byz_fraction =
     Option.value (Scenario.byz_fraction s) ~default:default_byz
   in
@@ -67,7 +67,7 @@ let horizon_spec s =
   | Some h -> Ok (h, Option.value (Scenario.rounds s) ~default:Scenario.default_rounds)
   | None -> Error "scenario has no horizon"
 
-let run_horizon ~default_byz ?domains ?strategy s proto =
+let analyze_predicate_horizon ~default_byz ?domains ?strategy s proto =
   let* h, rounds = horizon_spec s in
   let byz_fraction =
     Option.value (Scenario.byz_fraction s) ~default:default_byz
@@ -98,11 +98,11 @@ let model ~name ~doc ~byz ?(max_nodes = Scenario.max_fleet_nodes)
 
     let analyze ?domains ?strategy s =
       let* proto = protocol_of s in
-      run ~default_byz:byz ?domains ?strategy s proto
+      analyze_predicate ~default_byz:byz ?domains ?strategy s proto
 
     let analyze_horizon ?domains ?strategy s =
       let* proto = protocol_of s in
-      run_horizon ~default_byz:byz ?domains ?strategy s proto
+      analyze_predicate_horizon ~default_byz:byz ?domains ?strategy s proto
   end)
 
 let raft =
@@ -250,13 +250,27 @@ let quorum_availability : entry =
            (Analysis.horizon_times ~horizon:h ~rounds))
   end)
 
-let all : entry list =
+let builtin : entry list =
   [ raft; pbft; pbft_forensics; upright; benor; stake; quorum_availability ]
 
-let names = List.map (fun ((module M) : entry) -> M.name) all
+(* Entries registered by downstream libraries (probnative's
+   uncertainty-weighted selectors). The registry cannot depend on the
+   libraries that implement them, so they self-register at link time. *)
+let registered : entry list ref = ref []
+
+let all () = builtin @ !registered
+
+let names () = List.map (fun ((module M) : entry) -> M.name) (all ())
+
+let register ((module M) : entry) =
+  if List.exists (fun ((module E) : entry) -> String.equal E.name M.name) (all ())
+  then
+    invalid_arg
+      (Printf.sprintf "Registry.register: protocol %S already registered" M.name)
+  else registered := !registered @ [ (module M : Protocol_model) ]
 
 let find name =
-  List.find_opt (fun ((module M) : entry) -> String.equal M.name name) all
+  List.find_opt (fun ((module M) : entry) -> String.equal M.name name) (all ())
 
 let dispatch : 'a. Scenario.t -> (entry -> 'a) -> ((string -> 'a) -> 'a) =
  fun s found missing ->
@@ -265,7 +279,7 @@ let dispatch : 'a. Scenario.t -> (entry -> 'a) -> ((string -> 'a) -> 'a) =
   | None ->
       missing
         (Printf.sprintf "unknown protocol %S (known: %s)"
-           (Scenario.protocol s) (String.concat ", " names))
+           (Scenario.protocol s) (String.concat ", " (names ())))
 
 let validate s =
   dispatch s (fun (module M) -> M.validate s) (fun msg -> Error msg)

@@ -5,7 +5,9 @@ let sim_protocols =
 
 let sim_names = List.map Sim_case.system_name sim_protocols
 
-let names = sim_names @ [ Service_case.system_name; Fleet_case.system_name ]
+let names =
+  sim_names
+  @ [ Service_case.system_name; Fleet_case.system_name; Replica_case.system_name ]
 
 let unknown name =
   Error
@@ -21,6 +23,8 @@ let find ?wire ?seeded_bug name =
   if name = Service_case.system_name then
     Ok (Packed (Service_case.system ?wire ?seeded_bug ()))
   else if name = Fleet_case.system_name then Ok (Packed (Fleet_case.system ()))
+  else if name = Replica_case.system_name then
+    Ok (Packed (Replica_case.system ()))
   else
     match
       List.find_opt (fun p -> Sim_case.system_name p = name) sim_protocols

@@ -1,0 +1,34 @@
+(** DST system ["replica"]: the replicated deployment's guarantees
+    checked on the simulator.
+
+    Runs a {!Raft_sim.Raft_cluster} under generated kill/restart
+    schedules (the in-sim analogue of the SIGKILL schedule
+    [Replica.Driver] executes against real processes) with a stepped
+    probe loop, asserting at every probe:
+
+    - {b committed_prefix_agreement}: any two replicas' applied
+      command sequences are prefix-comparable;
+    - {b failover_latency_bounded}: a schedule-up majority never sits
+      leaderless longer than the bound;
+
+    and at the end of the horizon:
+
+    - {b no_acked_write_lost}: every command any replica ever applied
+      survives in the longest final log. *)
+
+type kill = { node : int; at : float; back_at : float option }
+
+type t = {
+  n : int;  (** Replicas, in [3, 7]. *)
+  cluster_seed : int;
+  drop_probability : float;
+  kills : kill list;
+  ops : int list;
+  horizon : float;  (** Sim milliseconds. *)
+}
+
+val system_name : string
+(** ["replica"]. *)
+
+val run : t -> Harness.outcome
+val system : unit -> t Harness.system

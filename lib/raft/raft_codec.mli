@@ -1,0 +1,16 @@
+(** JSON codec for Raft messages and log entries.
+
+    The simulator delivers typed messages in memory; the replicated
+    service ({!Replica}) carries the same messages between OS processes
+    over TCP. This codec is that wire form: total decoders (untrusted
+    socket input parses to [Error], never an exception) and an encoding
+    that round-trips every constructor bit-exactly. *)
+
+val command_to_json : Raft_types.command -> Obs.Json.t
+val command_of_json : Obs.Json.t -> (Raft_types.command, string) result
+
+val entry_to_json : Raft_types.entry -> Obs.Json.t
+val entry_of_json : Obs.Json.t -> (Raft_types.entry, string) result
+
+val msg_to_json : Raft_types.msg -> Obs.Json.t
+val msg_of_json : Obs.Json.t -> (Raft_types.msg, string) result

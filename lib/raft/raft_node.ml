@@ -55,9 +55,13 @@ type t = {
   mutable election_timer : Dessim.Engine.cancel option;
   mutable heartbeat_timer : Dessim.Engine.cancel option;
   mutable down : bool;
+  mutable apply_hook : (entry -> unit) option;
+  mutable leader_hint : int option;
 }
 
 let id t = t.config.id
+let set_apply_hook t hook = t.apply_hook <- Some hook
+let leader_hint t = if t.role = Leader && not t.down then Some t.config.id else t.leader_hint
 let current_term t = t.term
 let is_leader t = t.role = Leader && not t.down
 let alive t = not t.down
@@ -129,7 +133,8 @@ let apply_committed t =
         record t "apply" (Printf.sprintf "index=%d cmd=%d term=%d" index command entry.term)
     | Config _ ->
         record t "apply-config" (Printf.sprintf "index=%d term=%d" index entry.term));
-    t.applied_through <- index
+    t.applied_through <- index;
+    match t.apply_hook with None -> () | Some hook -> hook entry
   done
 
 let rec reset_election_timer t =
@@ -154,6 +159,7 @@ and start_election t =
   t.role <- Candidate;
   t.voted_for <- Some t.config.id;
   t.votes <- [ t.config.id ];
+  t.leader_hint <- None;
   record t "candidate" (Printf.sprintf "term=%d" t.term);
   Obs.Metrics.incr m_elections;
   Dessim.Network.broadcast t.net ~src:t.config.id
@@ -291,6 +297,7 @@ let handle_append_entries t ~term ~leader_id ~prev_log_index ~prev_log_term ~ent
   else begin
     if term > t.term || t.role <> Follower then step_down t term
     else reset_election_timer t;
+    t.leader_hint <- Some leader_id;
     let consistent =
       prev_log_index <= last_log_index t && entry_term t prev_log_index = prev_log_term
     in
@@ -420,6 +427,17 @@ let submit_config t proposal =
     true
   end
 
+let persistent_state t = (t.term, t.voted_for, Dessim.Vec.to_list t.log)
+
+let restore t ~term ~voted_for ~log =
+  if last_log_index t > 0 || t.term > 0 then
+    invalid_arg "Raft_node.restore: node has already made progress";
+  t.term <- max 0 term;
+  t.voted_for <- voted_for;
+  List.iter (fun (entry : entry) -> Dessim.Vec.push t.log entry) log;
+  recompute_members t;
+  reset_election_timer t
+
 let set_down t down =
   if down && not t.down then begin
     t.down <- true;
@@ -474,6 +492,8 @@ let create config ~engine ~net ~trace =
       election_timer = None;
       heartbeat_timer = None;
       down = false;
+      apply_hook = None;
+      leader_hint = None;
     }
   in
   Dessim.Network.set_handler net config.id (fun ~src msg -> handle_message t ~src msg);

@@ -87,3 +87,31 @@ val set_down : t -> bool -> unit
 (** Crash or restart the node. Crashing cancels timers; restarting
     re-enters follower state keeping persistent state (term, vote,
     log), as a real Raft with stable storage would. *)
+
+val set_apply_hook : t -> (Raft_types.entry -> unit) -> unit
+(** Install a callback invoked once per log entry, in log order, at the
+    moment the entry is applied (its index passes the commit index).
+    This is the replication seam: {!Replica} hosts a real state machine
+    behind it. Config entries are delivered too (membership is applied
+    internally either way). The hook must not call back into the node. *)
+
+val leader_hint : t -> int option
+(** Who this node believes is the current leader: itself when leading,
+    otherwise the leader id from the most recent accepted
+    [Append_entries]. [None] before any leader contact or while
+    campaigning. The hint can be stale — callers use it for client
+    redirects, not correctness. *)
+
+val persistent_state : t -> int * int option * Raft_types.entry list
+(** The durable Raft state [(current_term, voted_for, log)] — exactly
+    what the paper requires on stable storage before answering RPCs.
+    {!Replica.Storage} snapshots this for crash recovery and follower
+    catch-up. *)
+
+val restore : t -> term:int -> voted_for:int option -> log:Raft_types.entry list -> unit
+(** Load persisted state into a freshly created node (before it has
+    processed any message). The commit index intentionally restarts at
+    0: committed entries are re-discovered from the leader and re-applied
+    through the apply hook, so state machines behind the hook must be
+    deterministic or idempotent. Raises [Invalid_argument] if the node
+    already has a non-empty log or a non-zero term. *)

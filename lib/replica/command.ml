@@ -1,0 +1,74 @@
+type op =
+  | Put_scenario of {
+      name : string;
+      scenario : Probcons.Scenario.t;
+      nonce : int;
+    }
+  | Warm of { key : string; payload : string }
+  | Barrier
+
+let to_json = function
+  | Put_scenario { name; scenario; nonce } ->
+      Obs.Json.Obj
+        (("op", Obs.Json.String "put")
+        :: ("name", Obs.Json.String name)
+        :: ("scenario", Probcons.Scenario.to_json scenario)
+        :: (if nonce = 0 then [] else [ ("nonce", Obs.Json.Int nonce) ]))
+  | Warm { key; payload } ->
+      Obs.Json.Obj
+        [
+          ("op", Obs.Json.String "warm");
+          ("key", Obs.Json.String key);
+          ("payload", Obs.Json.String payload);
+        ]
+  | Barrier -> Obs.Json.Obj [ ("op", Obs.Json.String "barrier") ]
+
+let to_string op = Obs.Json.to_string (to_json op)
+let id = to_string
+
+let ( let* ) = Result.bind
+
+let string_of j name =
+  match Obs.Json.member name j with
+  | Some (Obs.Json.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "command: missing string field %S" name)
+
+let valid_name name =
+  let n = String.length name in
+  n >= 1
+  && n <= Service.Wire.max_store_name_bytes
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       name
+
+let of_json j =
+  let* kind = string_of j "op" in
+  match kind with
+  | "put" ->
+      let* name = string_of j "name" in
+      if not (valid_name name) then Error "command: invalid store name"
+      else
+        let* scenario =
+          match Obs.Json.member "scenario" j with
+          | Some sj -> Probcons.Scenario.of_json sj
+          | None -> Error "command: put carries no scenario"
+        in
+        let nonce =
+          match Obs.Json.member "nonce" j with
+          | Some (Obs.Json.Int i) when i >= 0 -> i
+          | _ -> 0
+        in
+        Ok (Put_scenario { name; scenario; nonce })
+  | "warm" ->
+      let* key = string_of j "key" in
+      let* payload = string_of j "payload" in
+      Ok (Warm { key; payload })
+  | "barrier" -> Ok Barrier
+  | k -> Error (Printf.sprintf "command: unknown op %S" k)
+
+let of_string s =
+  match Obs.Json.of_string s with
+  | Error msg -> Error ("command: " ^ msg)
+  | Ok j -> of_json j

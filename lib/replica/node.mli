@@ -1,0 +1,96 @@
+(** One replica process of the replicated reliability-query service.
+
+    Hosts the simulator's {!Raft_sim.Raft_node} inside a private
+    {!Dessim.Engine} whose virtual clock is slaved to the wall clock
+    (virtual ms = wall ms since start), bridging it to other replicas
+    over real TCP ({!Transport}) and to clients through the PR-6
+    reactor {!Service.Server} with a replica-aware handler:
+
+    - [scenario_put] is sequenced through the Raft log and acknowledged
+      only after commit and apply; followers answer [not_leader] with a
+      leader hint.
+    - plain [scenario_get] is served from local applied state when the
+      replica has heard from a leader within the staleness budget,
+      refused with [not_leader] otherwise; [linearizable] gets are
+      leader-only behind a {!Command.Barrier} sequenced through the
+      log.
+    - deterministic computes ([analyze], [fleet_ingest]) are served
+      locally, with the leader replicating rendered payloads as
+      {!Command.Warm} records so follower caches warm through the log.
+    - [replica_status] reports role, term, hint, indices and state
+      counters.
+
+    A single {e pump} thread owns all Raft interaction. Each cycle:
+    inject inbound envelopes (payload bytes land before their
+    messages), drain client submissions, advance the engine to
+    wall-clock elapsed time, persist dirty Raft state, {e then} flush
+    outbound messages — so no acknowledgement leaves the process ahead
+    of the log bytes that justify it. With a [state_dir], a SIGKILLed
+    replica restarts from its {!Storage} snapshot and re-applies
+    committed entries idempotently. *)
+
+type config = {
+  id : int;  (** Replica id in [0..n-1]. *)
+  n : int;
+  base_port : int;
+      (** Raft plane: replica [i] listens on [base_port + i]; chaos
+          link proxies (when enabled) use
+          [base_port + n + src*n + dst]. *)
+  service_port : int;  (** Client-facing query service port. *)
+  seed : int;
+  state_dir : string option;  (** [None] disables persistence. *)
+  wire_max : int;  (** Highest wire framing accepted ([--wire 2] mode). *)
+  workers : int;
+  chaos : Service.Chaos.plan option;
+      (** When set, every outbound inter-replica link runs through a
+          fault-injecting proxy with a per-link derived seed. *)
+  tick_seconds : float;  (** Pump period. *)
+  staleness_budget_seconds : float;
+      (** Follower plain-read freshness bound: reads are refused when
+          the last leader contact is older than this. *)
+  commit_timeout_seconds : float;
+      (** How long a write waits for its commit before answering
+          [deadline_exceeded] (safe to retry: apply is idempotent). *)
+}
+
+val default_config :
+  id:int -> n:int -> base_port:int -> service_port:int -> config
+(** Seed 42, no persistence, no chaos, 2 workers, 4 ms tick, 1 s
+    staleness budget, 4 s commit timeout. *)
+
+val raft_port : config -> int -> int
+val link_port : config -> src:int -> dst:int -> int
+
+val link_plan : Service.Chaos.plan -> src:int -> dst:int -> Service.Chaos.plan
+(** The per-link chaos plan: the deployment seed offset
+    deterministically per ordered pair. *)
+
+type t
+
+val start : config -> t
+(** Bind the raft listener and service port, restore persisted state
+    if present, spawn the pump. Raises on port conflicts, a corrupt
+    snapshot, or an out-of-range id. *)
+
+val stop : t -> unit
+(** Graceful: drain the service server, stop the pump (persisting on
+    the way out), close transport and proxies. Idempotent. *)
+
+val set_chaos_plan : t -> Service.Chaos.plan -> unit
+(** Swap the plan on every outbound link proxy (live connections are
+    reset so accept-time faults like blackholes take effect) — the
+    mid-append blackhole lever of the inter-replica chaos tests.
+    No-op when chaos is disabled. *)
+
+val set_chaos_plan_to : t -> peer:int -> Service.Chaos.plan -> unit
+
+val id : t -> int
+val service_port : t -> int
+
+val is_leader : t -> bool
+(** From the last pump status snapshot (may lag one tick). *)
+
+val term : t -> int
+val leader_hint : t -> int option
+val state_counts : t -> State.counts
+val status_json : t -> Obs.Json.t

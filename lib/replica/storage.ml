@@ -1,0 +1,108 @@
+let schema = "probcons-replica-durable/1"
+let file = "durable.json"
+
+type snapshot = {
+  term : int;
+  voted_for : int option;
+  log : Raft_sim.Raft_types.entry list;
+  payloads : (int * string) list;
+}
+
+let path ~dir = Filename.concat dir file
+
+let to_json s =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String schema);
+      ("term", Obs.Json.Int s.term);
+      ( "voted_for",
+        match s.voted_for with
+        | None -> Obs.Json.Null
+        | Some v -> Obs.Json.Int v );
+      ("log", Obs.Json.List (List.map Raft_sim.Raft_codec.entry_to_json s.log));
+      ( "payloads",
+        Obs.Json.List
+          (List.map
+             (fun (seq, bytes) ->
+               Obs.Json.List [ Obs.Json.Int seq; Obs.Json.String bytes ])
+             s.payloads) );
+    ]
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  match Obs.Json.member "schema" j with
+  | Some (Obs.Json.String s) when s = schema ->
+      let* term =
+        match Obs.Json.member "term" j with
+        | Some (Obs.Json.Int t) when t >= 0 -> Ok t
+        | _ -> Error "storage: missing term"
+      in
+      let* voted_for =
+        match Obs.Json.member "voted_for" j with
+        | Some Obs.Json.Null | None -> Ok None
+        | Some (Obs.Json.Int v) when v >= 0 -> Ok (Some v)
+        | _ -> Error "storage: bad voted_for"
+      in
+      let* log =
+        match Obs.Json.member "log" j with
+        | Some (Obs.Json.List entries) ->
+            List.fold_left
+              (fun acc ej ->
+                let* acc = acc in
+                let* e = Raft_sim.Raft_codec.entry_of_json ej in
+                Ok (e :: acc))
+              (Ok []) entries
+            |> Result.map List.rev
+        | _ -> Error "storage: missing log"
+      in
+      let* payloads =
+        match Obs.Json.member "payloads" j with
+        | Some (Obs.Json.List pairs) ->
+            List.fold_left
+              (fun acc pj ->
+                let* acc = acc in
+                match pj with
+                | Obs.Json.List [ Obs.Json.Int seq; Obs.Json.String bytes ]
+                  when seq >= 0 ->
+                    Ok ((seq, bytes) :: acc)
+                | _ -> Error "storage: bad payload pair")
+              (Ok []) pairs
+            |> Result.map List.rev
+        | _ -> Error "storage: missing payloads"
+      in
+      Ok { term; voted_for; log; payloads }
+  | _ -> Error "storage: wrong or missing schema"
+
+(* Durability contract: the bytes are complete on disk (fsync) before
+   the rename makes them visible, so a crash leaves either the old
+   snapshot or the new one, never a torn file. *)
+let save ~dir s =
+  let final = path ~dir in
+  let tmp = final ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let bytes = Bytes.of_string (Obs.Json.to_string (to_json s)) in
+      let n = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write fd bytes !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp final
+
+let load ~dir =
+  let p = path ~dir in
+  if not (Sys.file_exists p) then Ok None
+  else
+    let ic = open_in_bin p in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.Json.of_string contents with
+    | Error msg -> Error ("storage: " ^ msg)
+    | Ok j -> Result.map Option.some (of_json j)

@@ -1,0 +1,34 @@
+(** Write-ahead persistence for one replica process.
+
+    Exactly what the Raft paper puts on stable storage — current term,
+    vote, and the log — plus the payload table mapping sequence
+    numbers to command bytes. The {!Node} pump persists a dirty
+    snapshot {e before} flushing outbound replies, so a follower's
+    success reply never leaves the process ahead of the log it
+    acknowledges; on restart the snapshot is loaded into
+    {!Raft_sim.Raft_node.restore} and committed entries are re-applied
+    idempotently. Writes are atomic (temp file, fsync, rename). *)
+
+val schema : string
+(** ["probcons-replica-durable/1"]. *)
+
+type snapshot = {
+  term : int;
+  voted_for : int option;
+  log : Raft_sim.Raft_types.entry list;
+  payloads : (int * string) list;
+      (** Sequence number to canonical command bytes. *)
+}
+
+val path : dir:string -> string
+(** The snapshot file inside a replica's state directory. *)
+
+val save : dir:string -> snapshot -> unit
+(** Atomic replace. Raises [Unix.Unix_error] on I/O failure. *)
+
+val load : dir:string -> (snapshot option, string) result
+(** [Ok None] when no snapshot exists; [Error] on a corrupt file
+    (a replica must not silently boot empty over damaged state). *)
+
+val to_json : snapshot -> Obs.Json.t
+val of_json : Obs.Json.t -> (snapshot, string) result

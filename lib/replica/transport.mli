@@ -1,0 +1,68 @@
+(** The inter-replica TCP plane.
+
+    Raft messages travel as newline-delimited JSON envelopes
+    [{"src", "dst", "msg", "payloads"}]: the [msg] is
+    {!Raft_sim.Raft_codec}'s encoding, and [payloads] piggybacks the
+    canonical command bytes for any [Data seq] entries the message
+    carries, keyed by sequence number — the Raft core replicates small
+    integers while the real command bodies ride alongside and land in
+    each replica's payload table before the message is processed.
+
+    Links are deliberately lossy: a sender that cannot connect (or
+    whose connection dies mid-write, e.g. reset by a chaos proxy)
+    drops the queued batch and lets Raft's retries re-carry the state,
+    which is the same message model the simulator's
+    {!Dessim.Network} presents. *)
+
+val max_line_bytes : int
+(** Per-envelope byte bound on the reader side. *)
+
+val envelope_to_line :
+  src:int ->
+  dst:int ->
+  Raft_sim.Raft_types.msg ->
+  payloads:(int * string) list ->
+  string
+
+val envelope_of_line :
+  string ->
+  (int * int * Raft_sim.Raft_types.msg * (int * string) list, string) result
+(** Total decoder: [(src, dst, msg, payloads)]. *)
+
+(** One outbound link to a peer (or to the chaos proxy in front of
+    it). Owns a connect-on-demand socket and a dedicated flush
+    thread. *)
+module Sender : sig
+  type t
+
+  val start : port:int -> t
+  (** Target is [127.0.0.1:port]; nothing is connected until the first
+      {!send}. *)
+
+  val send : t -> string -> unit
+  (** Enqueue one envelope line. Never blocks the caller. *)
+
+  val stop : t -> unit
+end
+
+(** The replica's inbound raft-plane listener. *)
+module Listener : sig
+  type t
+
+  val start :
+    port:int ->
+    deliver:
+      (src:int ->
+      dst:int ->
+      Raft_sim.Raft_types.msg ->
+      payloads:(int * string) list ->
+      unit) ->
+    t
+  (** Bind [127.0.0.1:port] and deliver every decoded envelope from a
+      per-connection reader thread. A malformed or oversized line
+      closes its connection (peers reconnect). Raises
+      [Unix.Unix_error] when binding fails. *)
+
+  val stop : t -> unit
+  (** Close listener and live connections, join all threads. *)
+end

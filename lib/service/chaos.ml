@@ -108,7 +108,7 @@ type conn = {
 }
 
 type t = {
-  plan : plan;
+  mutable plan : plan;
   listener : Unix.file_descr;
   listen_path : string option;
   upstream : Client.target;
@@ -208,9 +208,10 @@ let write_all fd bytes len =
    direction's private RNG stream. Any write failure means the other
    side is gone; the pump just exits and teardown closes both fds. *)
 let pump t rng ~src ~dst conn =
-  let plan = t.plan in
   let chunk = Bytes.create 4096 in
   let forward k =
+    (* Re-read per chunk: {!set_plan} swaps take effect on live flows. *)
+    let plan = t.plan in
     if Prob.Rng.bool rng plan.delay_p then begin
       count m_delays t.n_delays;
       Unix.sleepf (Prob.Rng.float rng *. plan.max_delay)
@@ -252,7 +253,7 @@ let pump t rng ~src ~dst conn =
         (try Unix.shutdown dst Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
     | exception _ -> ()
     | k ->
-        if Prob.Rng.bool rng plan.reset_p then begin
+        if Prob.Rng.bool rng t.plan.reset_p then begin
           count m_resets t.n_resets;
           shutdown_conn conn
         end
@@ -371,6 +372,16 @@ let start ~plan ~listen ~upstream =
   in
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
+
+let set_plan t plan =
+  t.plan <- plan;
+  (* Per-chunk dice pick up the new plan immediately; accept-time
+     decisions (blackholing) only roll per connection, so reset the
+     live flows — peers reconnect and the fresh connections roll
+     against the new plan. *)
+  Mutex.lock t.conns_mutex;
+  Hashtbl.iter (fun _ conn -> shutdown_conn conn) t.conns;
+  Mutex.unlock t.conns_mutex
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin

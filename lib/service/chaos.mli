@@ -58,6 +58,14 @@ val start : plan:plan -> listen:Client.target -> upstream:Client.target -> t
     and return immediately. Each direction of each connection runs on
     its own pump thread. Raises [Unix.Unix_error] if binding fails. *)
 
+val set_plan : t -> plan -> unit
+(** Swap the fault plan on a running proxy. Per-chunk dice (delay,
+    garbage, truncation, partial writes, resets) switch immediately on
+    live flows; accept-time decisions (blackholing) roll per
+    connection, so live connections are reset and the re-established
+    ones roll against the new plan. This is how the inter-replica
+    tests turn a healthy link into a black hole mid-append. *)
+
 val stop : t -> unit
 (** Close the listener and every live connection, then join all pump
     threads. Idempotent. *)

@@ -315,3 +315,180 @@ let call ?timeout ?max_attempts t ~id query =
       | Error msg -> Error (Wire.Internal, "malformed response: " ^ msg))
 
 let close t = disconnect t
+
+(* --- Multi-endpoint failover ------------------------------------------- *)
+
+let m_failovers = Obs.Metrics.counter ~family:"client" "endpoint_failovers"
+let m_redirects = Obs.Metrics.counter ~family:"client" "leader_redirects"
+
+let m_wire_downgrades =
+  Obs.Metrics.counter ~family:"client" "wire_renegotiations"
+
+module Multi = struct
+  type client = t
+
+  type t = {
+    targets : target array;
+    wires : int array;  (* negotiated framing, per endpoint *)
+    confirmed : bool array;  (* endpoint has answered at wires.(i) *)
+    timeout : float option;
+    backoff : backoff;
+    rng : Prob.Rng.t;
+    max_attempts : int;
+    mutable pinned : int;
+    mutable conn : client option;  (* live connection to targets.(pinned) *)
+  }
+
+  let create ?(wire = Wire.protocol_version) ?(backoff = default_backoff)
+      ?timeout ?max_attempts targets =
+    if targets = [] then invalid_arg "Client.Multi.create: no endpoints";
+    if wire < Wire.min_protocol_version || wire > Wire.protocol_version then
+      invalid_arg
+        (Printf.sprintf "Client.Multi.create: unsupported wire version %d" wire);
+    let n = List.length targets in
+    {
+      targets = Array.of_list targets;
+      wires = Array.make n wire;
+      confirmed = Array.make n false;
+      timeout;
+      backoff;
+      rng = Prob.Rng.create (backoff.seed + 0x6d75);
+      max_attempts = (match max_attempts with Some k when k > 0 -> k | _ -> 6 * n);
+      pinned = 0;
+      conn = None;
+    }
+
+  let endpoints m = Array.length m.targets
+  let current m = m.pinned
+  let negotiated_wire m i = m.wires.(i)
+
+  let drop m =
+    (match m.conn with Some c -> close c | None -> ());
+    m.conn <- None
+
+  let pin m i =
+    if i <> m.pinned then begin
+      drop m;
+      m.pinned <- i
+    end
+
+  let rotate m =
+    Obs.Metrics.incr m_failovers;
+    pin m ((m.pinned + 1) mod Array.length m.targets)
+
+  (* Connect to the pinned endpoint at the framing {e that endpoint}
+     negotiated — never the previous endpoint's. A mixed deployment
+     (some replicas [--wire 2]) would otherwise see a failover from a
+     binary replica greet a newline-only replica with frame magic and
+     burn the whole retry budget on goodbyes. *)
+  let ensure m =
+    match m.conn with
+    | Some c -> c
+    | None ->
+        let c =
+          connect ~wire:m.wires.(m.pinned) ~backoff:m.backoff ?timeout:m.timeout
+            ~retry_for:0.05 m.targets.(m.pinned)
+        in
+        m.conn <- Some c;
+        c
+
+  (* Jittered pause that grows per full rotation: tight the first time
+     around the ring (a healthy replica is one hop away), backing off
+     when the whole deployment is unreachable or leaderless. *)
+  let pause m ~deadline k =
+    let b = m.backoff in
+    let round = k / Array.length m.targets in
+    let base = b.initial *. (b.multiplier ** float_of_int round) in
+    let capped = Float.min b.max_sleep base in
+    let s = capped *. (1. -. (b.jitter *. Prob.Rng.float m.rng)) in
+    let s =
+      match deadline with
+      | None -> s
+      | Some d -> Float.min s (d -. Unix.gettimeofday ())
+    in
+    if s > 0. then Unix.sleepf s
+
+  let call ?timeout m ~id query =
+    let timeout = match timeout with Some _ as s -> s | None -> m.timeout in
+    let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+    let time_left () =
+      match deadline with None -> true | Some d -> Unix.gettimeofday () < d
+    in
+    let remaining () =
+      Option.map (fun d -> Float.max 0.01 (d -. Unix.gettimeofday ())) deadline
+    in
+    let rec attempt k last_err =
+      if k >= m.max_attempts then Error last_err
+      else if not (time_left ()) then
+        Error (Wire.Timeout, "failover budget exhausted")
+      else begin
+        if k > 0 then pause m ~deadline k;
+        match ensure m with
+        | exception _ ->
+            rotate m;
+            attempt (k + 1) (Wire.Connection_lost, "endpoint unreachable")
+        | c -> (
+            let body =
+              Wire.encode_request ~v:(wire_version c) { Wire.id; query }
+            in
+            match call_line ?timeout:(remaining ()) ~max_attempts:1 c ~id body with
+            | Error (Wire.Timeout, msg) ->
+                (* The budget is spent; the connection is poisoned (a
+                   late reply could answer a later call) — both reasons
+                   not to fail over. *)
+                drop m;
+                Error (Wire.Timeout, msg)
+            | Error (_, msg) ->
+                drop m;
+                (* Satellite fix: before failing over, re-validate this
+                   endpoint's framing. A transport failure on an
+                   endpoint that has never answered at the preferred
+                   binary framing is indistinguishable from a
+                   [unsupported_version] goodbye (the newline goodbye
+                   reads as a corrupted frame), so renegotiate down and
+                   retry the {e same} endpoint once. *)
+                if (not m.confirmed.(m.pinned)) && m.wires.(m.pinned) >= 3 then begin
+                  Obs.Metrics.incr m_wire_downgrades;
+                  m.wires.(m.pinned) <- 2
+                end
+                else rotate m;
+                attempt (k + 1) (Wire.Connection_lost, msg)
+            | Ok reply -> (
+                match Wire.parse_response reply with
+                | Error msg ->
+                    drop m;
+                    rotate m;
+                    attempt (k + 1) (Wire.Internal, msg)
+                | Ok { Wire.body; rhint; _ } -> (
+                    m.confirmed.(m.pinned) <- true;
+                    match body with
+                    | Ok payload -> Ok payload
+                    | Error ((Wire.Not_leader, _) as e) ->
+                        Obs.Metrics.incr m_redirects;
+                        (match rhint with
+                        | Some h
+                          when h >= 0
+                               && h < Array.length m.targets
+                               && h <> m.pinned ->
+                            pin m h
+                        | _ -> rotate m);
+                        attempt (k + 1) e
+                    | Error
+                        ((( Wire.Overloaded | Wire.Shutting_down
+                          | Wire.Deadline_exceeded ),
+                          _) as e) ->
+                        (* Per-replica pressure: another replica can
+                           serve the read (and a write retry is safe —
+                           the command id dedups). *)
+                        rotate m;
+                        attempt (k + 1) e
+                    | Error e ->
+                        (* Semantic rejection; every replica answers
+                           the same. *)
+                        Error e)))
+      end
+    in
+    attempt 0 (Wire.Connection_lost, "no endpoint reachable")
+
+  let close m = drop m
+end

@@ -124,3 +124,66 @@ val call :
     codes. *)
 
 val close : t -> unit
+
+(** Multi-endpoint failover over a replicated deployment.
+
+    One logical client across a ring of replica endpoints (index =
+    replica id). Each call is tried against a {e pinned} endpoint and
+    fails over on transport errors, [not_leader] redirects (following
+    the reply's leader [hint] when present), and per-replica pressure
+    ([overloaded]/[shutting_down]/[deadline_exceeded]) — with the
+    jittered-backoff pause schedule growing per full rotation, and the
+    whole dance bounded by the per-call deadline plus an attempt cap.
+
+    Framing is negotiated {e per endpoint}: a failover to a replica
+    that has never confirmed the preferred binary framing re-validates
+    it (a goodbye from a [--wire 2] replica reads as corrupted
+    framing) by renegotiating that endpoint down to newline framing
+    and retrying it, instead of assuming the previous endpoint's
+    framing — so mixed [--wire 2]/[--wire 3] deployments serve every
+    client.
+
+    Retrying writes is safe: a [Scenario_put] retried onto a new
+    leader re-encodes to the same canonical bytes, which are the
+    replicated command id, and replicas apply each command id at most
+    once. Not thread-safe — one [Multi.t] per thread. *)
+module Multi : sig
+  type t
+
+  val create :
+    ?wire:int ->
+    ?backoff:backoff ->
+    ?timeout:float ->
+    ?max_attempts:int ->
+    target list ->
+    t
+  (** [wire] (default {!Wire.protocol_version}) is the {e preferred}
+      framing; endpoints negotiate down individually. [timeout] is the
+      default per-call budget. [max_attempts] caps attempts per call
+      (default [6 * endpoints]). Raises [Invalid_argument] on an empty
+      endpoint list or an unsupported wire version. Connections are
+      opened lazily on first call. *)
+
+  val endpoints : t -> int
+  val current : t -> int
+  (** Index of the endpoint calls are currently pinned to. *)
+
+  val negotiated_wire : t -> int -> int
+  (** The framing endpoint [i] currently speaks (downgraded from the
+      preferred version once a goodbye is observed). *)
+
+  val call :
+    ?timeout:float ->
+    t ->
+    id:int ->
+    Wire.query ->
+    (Obs.Json.t, Wire.error_code * string) result
+  (** Like {!Client.call}, across the deployment: returns the first
+      replica answer (success or semantic error); transport-level
+      outcomes are [Error (Timeout, _)] when the budget expires and
+      the last typed failure when the attempt cap runs out (e.g.
+      [Not_leader] while the deployment is leaderless,
+      [Connection_lost] when nothing is reachable). *)
+
+  val close : t -> unit
+end

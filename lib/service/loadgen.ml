@@ -244,7 +244,7 @@ let run ?(clients = 4) ?(requests = 200) ?(distinct = 8) ?timeout ?duration
       | Some reply -> (
           if not (recv_fast reply) then
           match Wire.parse_response reply with
-          | Ok { Wire.rid = Some rid; body } -> (
+          | Ok { Wire.rid = Some rid; body; _ } -> (
               match take_inflight rid with
               | None -> lost () (* foreign id: framing untrustworthy *)
               | Some e -> (

@@ -126,6 +126,13 @@ let handle query =
   match query with
   | Wire.Stats -> Error (Wire.Internal, "stats is answered by the server")
   | Wire.Ping -> Error (Wire.Internal, "ping is answered by the server")
+  | Wire.Scenario_put _ | Wire.Scenario_get _ | Wire.Replica_status ->
+      (* Replica-plane queries need replicated state behind the server;
+         a standalone [probcons serve] has none. The replica runtime
+         overrides the server's handler to answer these. *)
+      Error
+        ( Wire.Bad_request,
+          "this server is not a replica (start one with probcons replicate)" )
   | Wire.Analyze { scenario } -> (
       (* Dispatch through the protocol registry: the model's own
          byz_fraction default (overridable per scenario), the model's
@@ -151,7 +158,9 @@ let handle query =
         | Wire.Fleet_recommend f -> Fleetctl.Controller.payload (fleet_outcome f)
         | Wire.Fleet_ingest f ->
             Fleetctl.Controller.ingest_payload (fleet_outcome f)
-        | Wire.Stats | Wire.Ping -> assert false
+        | Wire.Stats | Wire.Ping | Wire.Scenario_put _ | Wire.Scenario_get _
+        | Wire.Replica_status ->
+            assert false
       with
       | payload -> Ok payload
       | exception e -> Error (Wire.Internal, Printexc.to_string e))

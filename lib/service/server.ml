@@ -1,3 +1,17 @@
+type reply_error = {
+  code : Wire.error_code;
+  msg : string;
+  hint : int option;
+}
+
+type handler = Wire.query -> (Obs.Json.t, reply_error) result
+
+(* The default worker dispatch: the pure router, no redirect hints. *)
+let router_handler query =
+  match Router.handle query with
+  | Ok json -> Ok json
+  | Error (code, msg) -> Error { code; msg; hint = None }
+
 type config = {
   socket_path : string option;
   tcp_port : int option;
@@ -9,6 +23,7 @@ type config = {
   max_connections : int;
   max_pipeline : int;
   max_wire : int;
+  handler : handler;
 }
 
 let default_config =
@@ -23,6 +38,7 @@ let default_config =
     max_connections = 1024;
     max_pipeline = 128;
     max_wire = Wire.protocol_version;
+    handler = router_handler;
   }
 
 (* A connection whose reply backlog exceeds this many bytes stops
@@ -212,8 +228,8 @@ let render_ok ~binary ~id payload =
   if not binary then Buffer.add_char b '\n';
   Buffer.contents b
 
-let render_error ~binary ~id code msg =
-  let body = Wire.encode_error ~id code msg in
+let render_error ?hint ~binary ~id code msg =
+  let body = Wire.encode_error ?hint ~id code msg in
   if binary then Frame.encode body else body ^ "\n"
 
 (* --- Payloads ------------------------------------------------------------ *)
@@ -793,7 +809,7 @@ let process t (job : job) =
             t.config.deadline_seconds))
   end
   else
-    match Obs.Span.time m_handle (fun () -> Router.handle job.query) with
+    match Obs.Span.time m_handle (fun () -> t.config.handler job.query) with
     | Ok json ->
         let rendered = Obs.Json.to_string json in
         if Wire.cacheable job.query then
@@ -802,10 +818,10 @@ let process t (job : job) =
         Atomic.incr t.n_ok;
         complete t ~conn_key:job.conn_key
           (render_ok ~binary ~id:job.id rendered)
-    | Error (code, msg) ->
+    | Error { code; msg; hint } ->
         count_error t code;
         complete t ~conn_key:job.conn_key
-          (render_error ~binary ~id:(Some job.id) code msg)
+          (render_error ?hint ~binary ~id:(Some job.id) code msg)
 
 let worker_loop t =
   let rec go () =

@@ -60,6 +60,23 @@
     write-backpressure stall counter — all surfaced in [stats] and
     (summarized) in [ping] replies. *)
 
+type reply_error = {
+  code : Wire.error_code;
+  msg : string;
+  hint : int option;
+      (** Optional [hint] field on the error object — the
+          believed-leader replica id on [not_leader] replies. *)
+}
+
+type handler = Wire.query -> (Obs.Json.t, reply_error) result
+(** What the worker lanes run for queries that miss the fast paths.
+    Must be thread-safe (lanes are domains) and deterministic for
+    cacheable queries — its [Ok] payloads are cached and replayed
+    byte-identically. *)
+
+val router_handler : handler
+(** The default: {!Router.handle} with no redirect hints. *)
+
 type config = {
   socket_path : string option;  (** Unix-domain listener path. *)
   tcp_port : int option;  (** TCP listener on 127.0.0.1. *)
@@ -84,6 +101,12 @@ type config = {
           answered [unsupported_version] and closed — the [--wire 2]
           escape hatch. Body-level version negotiation (the ["v"]
           field) is independent and always spans 1..3. *)
+  handler : handler;
+      (** Worker dispatch ({!router_handler} by default). The replica
+          runtime ({!Replica.Node}) substitutes a handler that
+          sequences state-mutating queries through the Raft log and
+          answers replica-plane queries; everything else should
+          delegate to {!router_handler}. *)
 }
 
 val default_config : config

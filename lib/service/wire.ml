@@ -24,6 +24,9 @@ type query =
   | Plan of { target_nines : float; groups : (int * float) list }
   | Fleet_recommend of fleet_params
   | Fleet_ingest of fleet_params
+  | Scenario_put of { name : string; scenario : Probcons.Scenario.t; nonce : int }
+  | Scenario_get of { name : string; linearizable : bool }
+  | Replica_status
   | Stats
   | Ping
 
@@ -36,6 +39,7 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down
   | Internal
+  | Not_leader
   | Timeout
   | Connection_lost
 
@@ -53,6 +57,7 @@ let code_string = function
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Not_leader -> "not_leader"
   | Timeout -> "timeout"
   | Connection_lost -> "connection_lost"
 
@@ -65,6 +70,7 @@ let code_of_string = function
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
+  | "not_leader" -> Some Not_leader
   | "timeout" -> Some Timeout
   | "connection_lost" -> Some Connection_lost
   | _ -> None
@@ -102,6 +108,9 @@ let kind_string = function
   | Plan _ -> "plan"
   | Fleet_recommend _ -> "fleet_recommend"
   | Fleet_ingest _ -> "fleet_ingest"
+  | Scenario_put _ -> "scenario_put"
+  | Scenario_get _ -> "scenario_get"
+  | Replica_status -> "replica_status"
   | Stats -> "stats"
   | Ping -> "ping"
 
@@ -167,12 +176,28 @@ let query_params = function
       (* [dynamic:false] and absent normalize to the same bytes, so
          pre-dynamic cache keys are untouched. *)
       @ (if f.dynamic then [ ("dynamic", Obs.Json.Bool true) ] else [])
+  | Scenario_put { name; scenario; nonce } ->
+      [ ("name", Obs.Json.String name);
+        ("scenario", Probcons.Scenario.to_json scenario) ]
+      (* [nonce:0] and absent normalize to the same bytes; a non-zero
+         nonce distinguishes deliberate re-puts of identical content
+         (the replicated command id is these canonical bytes). *)
+      @ (if nonce <> 0 then [ ("nonce", Obs.Json.Int nonce) ] else [])
+  | Scenario_get { name; linearizable } ->
+      [ ("name", Obs.Json.String name) ]
+      @ (if linearizable then [ ("linearizable", Obs.Json.Bool true) ] else [])
+  | Replica_status -> []
   | Stats | Ping -> []
 
 let canonical_key query =
   kind_string query ^ " " ^ Obs.Json.to_string (Obs.Json.Obj (query_params query))
 
-let cacheable = function Stats | Ping -> false | _ -> true
+(* Replica-plane queries are stateful (a put mutates, a get/status read
+   live replicated state), so they must never be answered from the
+   byte-identical reply cache. *)
+let cacheable = function
+  | Stats | Ping | Scenario_put _ | Scenario_get _ | Replica_status -> false
+  | _ -> true
 
 (* [v] lets a test or an old-style client encode at a downlevel
    version; params are version-independent (the v1 shorthand is a
@@ -334,6 +359,24 @@ let parse_fleet_params params =
   in
   { nodes; ticks; seed; quorum; target_nines; dynamic }
 
+(* Scenario-store names: short, filesystem- and JSON-safe identifiers,
+   validated at parse time like every other wire bound. *)
+let max_store_name_bytes = 64
+
+let parse_store_name params =
+  match Option.bind (Obs.Json.member "name" params) Obs.Json.to_string_opt with
+  | None -> bad "missing name"
+  | Some name ->
+      let ok_char = function
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+        | _ -> false
+      in
+      if name = "" || String.length name > max_store_name_bytes then
+        bad "name must be 1..%d bytes" max_store_name_bytes
+      else if not (String.for_all ok_char name) then
+        bad "name may contain only [A-Za-z0-9._-]"
+      else name
+
 let parse_query ~kind ~params =
   match kind with
   | "analyze" -> (
@@ -396,6 +439,39 @@ let parse_query ~kind ~params =
         }
   | "fleet_recommend" -> Fleet_recommend (parse_fleet_params params)
   | "fleet_ingest" -> Fleet_ingest (parse_fleet_params params)
+  | "scenario_put" ->
+      let name = parse_store_name params in
+      let scenario =
+        match Obs.Json.member "scenario" params with
+        | Some (Obs.Json.Obj _ as doc) -> (
+            match Probcons.Scenario.of_json doc with
+            | Error msg -> bad "%s" msg
+            | Ok scenario -> (
+                match Probcons.Registry.validate scenario with
+                | Error msg -> bad "%s" msg
+                | Ok () -> scenario))
+        | Some _ -> bad "scenario must be an object"
+        | None -> bad "missing scenario"
+      in
+      let nonce =
+        match Obs.Json.member "nonce" params with
+        | None -> 0
+        | Some j -> (
+            match Obs.Json.to_int j with
+            | Some v when v >= 0 -> v
+            | _ -> bad "nonce must be a non-negative integer")
+      in
+      Scenario_put { name; scenario; nonce }
+  | "scenario_get" ->
+      let name = parse_store_name params in
+      let linearizable =
+        match Obs.Json.member "linearizable" params with
+        | None -> false
+        | Some (Obs.Json.Bool b) -> b
+        | Some _ -> bad "linearizable must be a boolean"
+      in
+      Scenario_get { name; linearizable }
+  | "replica_status" -> Replica_status
   | "stats" -> Stats
   | "ping" -> Ping
   | _ -> raise Not_found
@@ -483,7 +559,7 @@ let encode_ok ~id ~payload = ok_prefix ~id ^ payload ^ ok_suffix
    --seeded-bug] harness. *)
 let seeded_bug_id0 = ref false
 
-let encode_error ~id code msg =
+let encode_error ?hint ~id code msg =
   Obs.Json.to_string
     (Obs.Json.Obj
        [
@@ -494,15 +570,25 @@ let encode_error ~id code msg =
            | None -> if !seeded_bug_id0 then Obs.Json.Int 0 else Obs.Json.Null );
          ( "error",
            Obs.Json.Obj
-             [
-               ("code", Obs.Json.String (code_string code));
-               ("msg", Obs.Json.String msg);
-             ] );
+             ([
+                ("code", Obs.Json.String (code_string code));
+                ("msg", Obs.Json.String msg);
+              ]
+             (* [not_leader] redirects carry the believed leader's
+                replica id so a failover client can jump straight to it
+                instead of probing endpoints in order. *)
+             @
+             match hint with
+             | Some h -> [ ("hint", Obs.Json.Int h) ]
+             | None -> []) );
        ])
 
 type response = {
   rid : int option;
   body : (Obs.Json.t, error_code * string) result;
+  rhint : int option;
+      (** The [hint] field of an error reply, when present (a
+          [not_leader] redirect's believed-leader replica id). *)
 }
 
 let parse_response line =
@@ -513,7 +599,7 @@ let parse_response line =
         match Obs.Json.member "id" doc with Some (Obs.Json.Int i) -> Some i | _ -> None
       in
       match (Obs.Json.member "ok" doc, Obs.Json.member "error" doc) with
-      | Some payload, None -> Ok { rid; body = Ok payload }
+      | Some payload, None -> Ok { rid; body = Ok payload; rhint = None }
       | None, Some err ->
           let code =
             Option.bind
@@ -525,5 +611,8 @@ let parse_response line =
             Option.bind (Obs.Json.member "msg" err) Obs.Json.to_string_opt
             |> Option.value ~default:""
           in
-          Ok { rid; body = Error (code, msg) }
+          let rhint =
+            Option.bind (Obs.Json.member "hint" err) Obs.Json.to_int
+          in
+          Ok { rid; body = Error (code, msg); rhint }
       | _ -> Error "response carries neither ok nor error")

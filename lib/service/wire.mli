@@ -91,6 +91,22 @@ type query =
       (** Telemetry-and-refit summary of the same run (observation
           counts, engine update/refresh counts, final distribution
           stats) without the recommendation stream. *)
+  | Scenario_put of { name : string; scenario : Probcons.Scenario.t; nonce : int }
+      (** Store a named scenario in the replicated scenario registry.
+          In a replicated deployment ({!Replica}) the put is sequenced
+          through the Raft log before it is acknowledged; followers
+          answer [not_leader] with a leader hint. [nonce] (default 0)
+          distinguishes deliberate re-puts of identical content — the
+          replication command id is the canonical param bytes. Never
+          cached. *)
+  | Scenario_get of { name : string; linearizable : bool }
+      (** Read a named scenario back. Plain gets are served from the
+          local replica's applied state (bounded staleness, any
+          replica); [linearizable] gets are leader-only and sequenced
+          behind a log read barrier. Never cached. *)
+  | Replica_status
+      (** Replica introspection: id, role, term, leader hint, commit /
+          applied indices, store size, staleness. Never cached. *)
   | Stats  (** Server introspection; never cached. *)
   | Ping
       (** Health check: uptime, queue depth, live connections. Answered
@@ -112,6 +128,12 @@ type error_code =
   | Deadline_exceeded  (** Queued past the server's deadline. *)
   | Shutting_down  (** Server draining; no new work accepted. *)
   | Internal
+  | Not_leader
+      (** Replicated deployments only: this replica cannot sequence the
+          state-mutating request because it is not the Raft leader. The
+          error's [hint] field (when present) is the believed leader's
+          replica id; {!Client.Multi} uses it to redirect. Safe to
+          retry on another endpoint — the request was not executed. *)
   | Timeout
       (** Client-side: the per-call deadline expired with no complete,
           well-formed reply. Never sent by the server — minted by
@@ -167,8 +189,14 @@ val canonical_key : query -> string
     canonical field order and number formatting. Two requests with the
     same key are guaranteed the same response payload. *)
 
+val max_store_name_bytes : int
+(** Longest scenario-store name the wire accepts (64 bytes of
+    [A-Za-z0-9._-]). *)
+
 val cacheable : query -> bool
-(** All compute queries are; [Stats] and [Ping] are not. *)
+(** All compute queries are; [Stats], [Ping] and the replica-plane
+    queries ([Scenario_put]/[Scenario_get]/[Replica_status], which
+    touch live replicated state) are not. *)
 
 val ok_prefix : id:int -> string
 (** The response envelope up to (excluding) the payload bytes:
@@ -185,11 +213,12 @@ val encode_ok : id:int -> payload:string -> string
     rendered JSON (it is spliced verbatim, which is what keeps cached
     responses byte-identical). *)
 
-val encode_error : id:int option -> error_code -> string -> string
+val encode_error : ?hint:int -> id:int option -> error_code -> string -> string
 (** [id = None] (the request id could not be parsed) encodes as
     [id: null] — never a placeholder integer, which could collide with
     a real in-flight id and let a corruption-triggered error reply
-    answer a healthy request. *)
+    answer a healthy request. [hint] adds a [hint] field to the error
+    object — the believed-leader replica id on [not_leader] replies. *)
 
 val seeded_bug_id0 : bool ref
 (** {b Test-only.} When set, {!encode_error} regresses to the pre-fix
@@ -202,6 +231,9 @@ val seeded_bug_id0 : bool ref
 type response = {
   rid : int option;  (** Echoed id; [None] on malformed responses. *)
   body : (Obs.Json.t, error_code * string) result;
+  rhint : int option;
+      (** The error object's [hint] field when present (a [not_leader]
+          redirect's believed-leader replica id); [None] otherwise. *)
 }
 
 val parse_response : string -> (response, string) result

@@ -62,11 +62,11 @@ let test_analyze_rejects_bad_mix () =
 let test_protocols () =
   check_contains "protocols"
     [ "raft"; "pbft"; "pbft-forensics"; "upright"; "benor"; "stake";
-      "quorum-availability" ];
+      "quorum-availability"; "raft-weighted"; "committee-weighted" ];
   let status, output = run_capture "protocols --names" in
   Alcotest.(check int) "exits 0" 0 status;
   let lines = String.split_on_char '\n' (String.trim output) in
-  Alcotest.(check int) "seven bare names" 7 (List.length lines)
+  Alcotest.(check int) "nine bare names" 9 (List.length lines)
 
 let test_markov () =
   check_contains "markov -n 5 --afr 0.08" [ "MTTF"; "MTTDL"; "availability" ]

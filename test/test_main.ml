@@ -24,4 +24,5 @@ let () =
       ("cli", Test_cli.suite);
       ("dst", Test_dst.suite);
       ("fleet", Test_fleet.suite);
+      ("replica", Test_replica.suite);
     ]

@@ -593,6 +593,95 @@ let prop_weighted_raft_attainable_implies_unweighted =
           c.Dynamic_quorum.p_live >= target_live
           && Dynamic_quorum.best_raft ~target_live fleet <> None)
 
+(* --- The weighted selectors as registry protocols ----------------------- *)
+
+let test_weighted_registry_entries () =
+  (* Registered at link time: the registry dispatches both names. *)
+  Alcotest.(check bool) "raft-weighted registered" true
+    (Probcons.Registry.find "raft-weighted" <> None);
+  Alcotest.(check bool) "committee-weighted registered" true
+    (Probcons.Registry.find "committee-weighted" <> None);
+  let s name = Probcons.Scenario.uniform ~protocol:name ~n:5 ~p:0.01 () in
+  (match Probcons.Registry.analyze (s "raft-weighted") with
+  | Ok r ->
+      Alcotest.(check bool) "meets the default 3-nines target" true
+        (r.Probcons.Analysis.p_live >= Prob.Nines.to_prob 3.)
+  | Error e -> Alcotest.fail e);
+  match Probcons.Registry.analyze (s "committee-weighted") with
+  | Ok r ->
+      Alcotest.(check bool) "committee protocol named" true
+        (String.length r.Probcons.Analysis.protocol > 0
+        && String.sub r.Probcons.Analysis.protocol 0 9 = "committee");
+      Alcotest.(check bool) "meets the default target" true
+        (r.Probcons.Analysis.p_live >= Prob.Nines.to_prob 3.)
+  | Error e -> Alcotest.fail e
+
+let test_weighted_registry_overrides () =
+  (* target_nines is the one quorum override; unknown keys and
+     unattainable targets are typed errors, and a scenario file
+     carrying the override parses through the normal codec. *)
+  let mk ?(quorums = []) ?(target = None) name =
+    let quorums =
+      match target with Some t -> ("target_nines", t) :: quorums | None -> quorums
+    in
+    Probcons.Scenario.make ~protocol:name ~mix:[ (5, 0.01) ] ~quorums ()
+  in
+  let ok = function Ok s -> s | Error e -> Alcotest.fail e in
+  (match Probcons.Registry.validate (ok (mk ~target:(Some 2) "raft-weighted")) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Probcons.Registry.validate
+       (ok (mk ~quorums:[ ("q_per", 3) ] "raft-weighted"))
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown override key accepted");
+  (match
+     Probcons.Registry.analyze (ok (mk ~target:(Some 9) "committee-weighted"))
+   with
+  | Error msg ->
+      Alcotest.(check bool) "unattainable target names the protocol" true
+        (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "9 nines from a p=0.01 fleet of 5 accepted");
+  (* Round-trip through the scenario JSON codec. *)
+  let json =
+    Probcons.Scenario.to_json (ok (mk ~target:(Some 4) "committee-weighted"))
+  in
+  match Probcons.Scenario.of_json json with
+  | Ok s ->
+      Alcotest.(check (option int)) "override survives the codec" (Some 4)
+        (Probcons.Scenario.quorum s "target_nines")
+  | Error e -> Alcotest.fail e
+
+let test_weighted_registry_dynamic_uncertainty () =
+  (* A Markov-process fleet with [at] set gives the selectors a real
+     uncertainty signal: the spread of the marginal over the mission
+     window. The committee choice under uncertainty can only be more
+     conservative (never smaller) than the static-marginal choice. *)
+  let process =
+    match
+      Faultmodel.Failure_process.markov ~fail_rate:0.2 ~recover_rate:1.5
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let scenario =
+    match
+      Probcons.Scenario.make ~protocol:"committee-weighted"
+        ~mix:[ (7, 0.05) ]
+        ~processes:(List.init 7 (fun _ -> process))
+        ~quorums:[ ("target_nines", 2) ]
+        ~at:2.0 ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  match Probcons.Registry.analyze scenario with
+  | Ok r ->
+      Alcotest.(check bool) "dynamic analysis meets 2 nines" true
+        (r.Probcons.Analysis.p_live >= Prob.Nines.to_prob 2.)
+  | Error e -> Alcotest.fail e
+
 let test_weighted_validation () =
   let fleet = Faultmodel.Fleet.uniform ~n:5 ~p:0.02 () in
   Alcotest.check_raises "committee negative uncertainty"
@@ -670,6 +759,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_weighted_committee_meets_target;
     QCheck_alcotest.to_alcotest prop_weighted_raft_zero_is_best;
     QCheck_alcotest.to_alcotest prop_weighted_raft_attainable_implies_unweighted;
+    Alcotest.test_case "weighted registry entries" `Quick
+      test_weighted_registry_entries;
+    Alcotest.test_case "weighted registry overrides" `Quick
+      test_weighted_registry_overrides;
+    Alcotest.test_case "weighted registry dynamic uncertainty" `Quick
+      test_weighted_registry_dynamic_uncertainty;
     Alcotest.test_case "weighted validation" `Quick test_weighted_validation;
     Alcotest.test_case "weighted prefers trusted node" `Quick
       test_weighted_prefers_trusted_node;

@@ -1,0 +1,582 @@
+(* The replicated deployment: command codec, durable storage, and
+   in-process multi-replica clusters exercising leader redirects,
+   failover, crash-restart catch-up, chaos-proxied links and the
+   measurement harness helpers. *)
+
+module Node = Replica.Node
+module Command = Replica.Command
+module State = Replica.State
+module Storage = Replica.Storage
+module Driver = Replica.Driver
+module Wire = Service.Wire
+module Client = Service.Client
+module Raft_codec = Raft_sim.Raft_codec
+module Raft_types = Raft_sim.Raft_types
+
+let port_counter = ref 0
+
+let fresh_base () =
+  incr port_counter;
+  44000 + (Unix.getpid () mod 100 * 400) + (!port_counter * 30)
+
+let tmp_dir prefix =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !port_counter)
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let scenario_a = Probcons.Scenario.uniform ~protocol:"raft" ~n:3 ~p:0.01 ()
+let scenario_b = Probcons.Scenario.uniform ~protocol:"pbft" ~n:4 ~p:0.02 ()
+
+let poll ?(timeout = 15.) ?(every = 0.05) f =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () > deadline then false
+    else (
+      Thread.delay every;
+      go ())
+  in
+  go ()
+
+(* ---- codecs and state machine ------------------------------------- *)
+
+let test_command_codec () =
+  let op = Command.Put_scenario { name = "alpha"; scenario = scenario_a; nonce = 0 } in
+  let id1 = Command.id op in
+  let id2 =
+    Command.id
+      (Command.Put_scenario { name = "alpha"; scenario = scenario_a; nonce = 0 })
+  in
+  Alcotest.(check string) "equal ops have equal ids" id1 id2;
+  (match Command.of_string id1 with
+  | Ok (Command.Put_scenario { name; nonce; _ }) ->
+      Alcotest.(check string) "name round-trips" "alpha" name;
+      Alcotest.(check int) "nonce defaults to 0" 0 nonce
+  | _ -> Alcotest.fail "put did not round-trip");
+  let nonced =
+    Command.Put_scenario { name = "alpha"; scenario = scenario_a; nonce = 7 }
+  in
+  Alcotest.(check bool)
+    "nonce distinguishes ids" false
+    (Command.id nonced = id1);
+  (match Command.of_string (Command.to_string Command.Barrier) with
+  | Ok Command.Barrier -> ()
+  | _ -> Alcotest.fail "barrier did not round-trip");
+  (match Command.of_string {|{"op":"put","name":"bad name!","scenario":{}}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid store name accepted")
+
+let test_raft_codec () =
+  let entries =
+    [
+      { Raft_types.term = 2; index = 5; command = Raft_types.Data 17 };
+      { Raft_types.term = 3; index = 6; command = Raft_types.Config [ 0; 1; 2 ] };
+    ]
+  in
+  let msgs =
+    [
+      Raft_types.Request_vote
+        { term = 4; candidate_id = 1; last_log_index = 6; last_log_term = 3 };
+      Raft_types.Request_vote_reply { term = 4; voter_id = 2; granted = true };
+      Raft_types.Append_entries
+        {
+          term = 4;
+          leader_id = 1;
+          prev_log_index = 4;
+          prev_log_term = 2;
+          entries;
+          leader_commit = 5;
+        };
+      Raft_types.Append_entries_reply
+        { term = 4; follower_id = 0; success = false; match_index = 3 };
+      Raft_types.Timeout_now { term = 4 };
+    ]
+  in
+  List.iter
+    (fun msg ->
+      match Raft_codec.msg_of_json (Raft_codec.msg_to_json msg) with
+      | Ok decoded ->
+          Alcotest.(check bool) "msg round-trips" true (decoded = msg)
+      | Error e -> Alcotest.fail ("codec: " ^ e))
+    msgs;
+  (match Raft_codec.msg_of_json (Obs.Json.Obj [ ("type", Obs.Json.String "nope") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown msg type accepted")
+
+let test_transport_envelope () =
+  let msg =
+    Raft_types.Append_entries
+      {
+        term = 1;
+        leader_id = 0;
+        prev_log_index = 0;
+        prev_log_term = 0;
+        entries = [ { Raft_types.term = 1; index = 1; command = Data 1 } ];
+        leader_commit = 0;
+      }
+  in
+  let line =
+    Replica.Transport.envelope_to_line ~src:0 ~dst:2 msg
+      ~payloads:[ (1, {|{"op":"barrier"}|}) ]
+  in
+  match Replica.Transport.envelope_of_line line with
+  | Ok (0, 2, decoded, [ (1, bytes) ]) ->
+      Alcotest.(check bool) "msg survives" true (decoded = msg);
+      Alcotest.(check string) "payload survives" {|{"op":"barrier"}|} bytes
+  | Ok _ -> Alcotest.fail "wrong envelope fields"
+  | Error e -> Alcotest.fail e
+
+let test_state_dedup () =
+  let st = State.create () in
+  let op = Command.Put_scenario { name = "x"; scenario = scenario_a; nonce = 0 } in
+  let id = Command.id op in
+  Alcotest.(check bool) "first apply" true (State.apply st ~seq:1 op ~id = `Applied);
+  Alcotest.(check bool)
+    "second apply is a duplicate" true
+    (State.apply st ~seq:2 op ~id = `Duplicate);
+  let c = State.counts st in
+  Alcotest.(check int) "one dedup skip" 1 c.State.dedup_skips;
+  Alcotest.(check int) "store holds one entry" 1 c.State.store_size;
+  (match State.get st "x" with
+  | Some e -> Alcotest.(check int) "first seq wins" 1 e.State.seq
+  | None -> Alcotest.fail "entry missing");
+  (* Barriers are never duplicates and mutate nothing. *)
+  Alcotest.(check bool)
+    "barrier applies" true
+    (State.apply st ~seq:3 Command.Barrier ~id:(Command.id Command.Barrier)
+    = `Applied);
+  Alcotest.(check bool)
+    "barrier applies again" true
+    (State.apply st ~seq:4 Command.Barrier ~id:(Command.id Command.Barrier)
+    = `Applied)
+
+let test_storage_roundtrip () =
+  let dir = tmp_dir "probcons-replica-storage" in
+  let snap =
+    {
+      Storage.term = 3;
+      voted_for = Some 1;
+      log =
+        [
+          { Raft_types.term = 1; index = 1; command = Raft_types.Data 1 };
+          { Raft_types.term = 3; index = 2; command = Raft_types.Data 2 };
+        ];
+      payloads = [ (1, {|{"op":"barrier"}|}); (2, {|{"op":"barrier"}|}) ];
+    }
+  in
+  Storage.save ~dir snap;
+  (match Storage.load ~dir with
+  | Ok (Some loaded) ->
+      Alcotest.(check bool) "snapshot round-trips" true (loaded = snap)
+  | Ok None -> Alcotest.fail "snapshot missing"
+  | Error e -> Alcotest.fail e);
+  (* Corrupt file must be an error, not an empty boot. *)
+  let oc = open_out (Storage.path ~dir) in
+  output_string oc "{\"schema\":\"nope\"}";
+  close_out oc;
+  (match Storage.load ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt snapshot accepted");
+  Alcotest.(check bool)
+    "absent dir loads None" true
+    (Storage.load ~dir:(tmp_dir "probcons-replica-empty") = Ok None)
+
+let test_wire_replica_kinds () =
+  let roundtrip q =
+    let body = Wire.encode_request { Wire.id = 9; query = q } in
+    match Wire.parse_request body with
+    | Ok { Wire.id = 9; query } ->
+        Alcotest.(check bool) "query round-trips" true (query = q)
+    | Ok _ -> Alcotest.fail "wrong id"
+    | Error (_, code, msg) ->
+        Alcotest.fail (Printf.sprintf "%s: %s" (Wire.code_string code) msg)
+  in
+  roundtrip (Wire.Scenario_put { name = "a.b-c_1"; scenario = scenario_a; nonce = 0 });
+  roundtrip (Wire.Scenario_put { name = "z"; scenario = scenario_b; nonce = 12 });
+  roundtrip (Wire.Scenario_get { name = "a"; linearizable = false });
+  roundtrip (Wire.Scenario_get { name = "a"; linearizable = true });
+  roundtrip Wire.Replica_status;
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "replica-plane queries are not cacheable" false
+        (Wire.cacheable q))
+    [
+      Wire.Scenario_put { name = "a"; scenario = scenario_a; nonce = 0 };
+      Wire.Scenario_get { name = "a"; linearizable = false };
+      Wire.Replica_status;
+    ];
+  (* A not_leader error carries its redirect hint through the wire. *)
+  let line = Wire.encode_error ~hint:2 ~id:(Some 4) Wire.Not_leader "try 2" in
+  match Wire.parse_response line with
+  | Ok { Wire.rid = Some 4; body = Error (Wire.Not_leader, _); rhint = Some 2 } ->
+      ()
+  | Ok _ -> Alcotest.fail "hint did not round-trip"
+  | Error e -> Alcotest.fail e
+
+(* ---- in-process clusters ------------------------------------------ *)
+
+let cluster_config ?chaos ?state_dir ?(wire_max = Wire.protocol_version) ~base
+    ~n i =
+  {
+    (Node.default_config ~id:i ~n ~base_port:base
+       ~service_port:(Driver.service_port ~base_port:base ~replicas:n i))
+    with
+    Node.chaos;
+    wire_max;
+    state_dir =
+      (match state_dir with None -> None | Some root -> Some (Filename.concat root (string_of_int i)));
+    workers = 2;
+  }
+
+let with_cluster ?chaos ?state_dir ?wire_max_of ~n f =
+  let base = fresh_base () in
+  let nodes =
+    Array.init n (fun i ->
+        let wire_max =
+          match wire_max_of with None -> Wire.protocol_version | Some g -> g i
+        in
+        ref
+          (Some
+             (Node.start (cluster_config ?chaos ?state_dir ~wire_max ~base ~n i))))
+  in
+  let stop_all () =
+    Array.iter
+      (fun slot ->
+        match !slot with
+        | Some node ->
+            slot := None;
+            Node.stop node
+        | None -> ())
+      nodes
+  in
+  Fun.protect ~finally:stop_all (fun () -> f ~base ~nodes)
+
+let live_nodes nodes =
+  Array.to_list nodes |> List.filter_map (fun slot -> !slot)
+
+let wait_leader nodes =
+  Alcotest.(check bool)
+    "a leader emerges" true
+    (poll (fun () -> List.exists Node.is_leader (live_nodes nodes)));
+  List.find Node.is_leader (live_nodes nodes)
+
+let multi_of ?wire ~base ~n () =
+  Client.Multi.create ?wire ~timeout:8.
+    (List.init n (fun i ->
+         Client.Tcp (Driver.service_port ~base_port:base ~replicas:n i)))
+
+let expect_ok what = function
+  | Ok j -> j
+  | Error (code, msg) ->
+      Alcotest.fail
+        (Printf.sprintf "%s failed: %s: %s" what (Wire.code_string code) msg)
+
+let test_e2e_put_get () =
+  with_cluster ~n:3 (fun ~base ~nodes ->
+      let _leader = wait_leader nodes in
+      let multi = multi_of ~base ~n:3 () in
+      Fun.protect ~finally:(fun () -> Client.Multi.close multi) @@ fun () ->
+      let put =
+        expect_ok "put"
+          (Client.Multi.call multi ~id:1
+             (Wire.Scenario_put { name = "alpha"; scenario = scenario_a; nonce = 0 }))
+      in
+      Alcotest.(check bool)
+        "put acknowledged" true
+        (Obs.Json.member "stored" put = Some (Obs.Json.Bool true));
+      let got =
+        expect_ok "linearizable get"
+          (Client.Multi.call multi ~id:2
+             (Wire.Scenario_get { name = "alpha"; linearizable = true }))
+      in
+      Alcotest.(check bool)
+        "linearizable get finds the put" true
+        (Obs.Json.member "found" got = Some (Obs.Json.Bool true));
+      (match Obs.Json.member "scenario" got with
+      | Some sj ->
+          Alcotest.(check bool)
+            "stored scenario round-trips" true
+            (Probcons.Scenario.of_json sj = Ok scenario_a)
+      | None -> Alcotest.fail "reply carries no scenario");
+      let missing =
+        expect_ok "get of missing name"
+          (Client.Multi.call multi ~id:3
+             (Wire.Scenario_get { name = "ghost"; linearizable = true }))
+      in
+      Alcotest.(check bool)
+        "missing name reads as absent" true
+        (Obs.Json.member "found" missing = Some (Obs.Json.Bool false));
+      (* A duplicate put (same canonical bytes) is acknowledged without
+         a second application. *)
+      let dup =
+        expect_ok "duplicate put"
+          (Client.Multi.call multi ~id:4
+             (Wire.Scenario_put { name = "alpha"; scenario = scenario_a; nonce = 0 }))
+      in
+      Alcotest.(check bool)
+        "duplicate flagged" true
+        (Obs.Json.member "duplicate" dup = Some (Obs.Json.Bool true));
+      let status =
+        expect_ok "status"
+          (Client.Multi.call multi ~id:5 Wire.Replica_status)
+      in
+      Alcotest.(check bool)
+        "status carries the schema" true
+        (Obs.Json.member "schema" status
+        = Some (Obs.Json.String "probcons-replica-status/1"));
+      (* Followers converge to the same applied state. *)
+      Alcotest.(check bool)
+        "all replicas converge" true
+        (poll (fun () ->
+             match live_nodes nodes with
+             | first :: rest ->
+                 let d node = (Node.state_counts node).State.digest in
+                 let s node = (Node.state_counts node).State.store_size in
+                 List.for_all
+                   (fun node -> d node = d first && s node = s first)
+                   rest
+                 && s first = 1
+             | [] -> false)))
+
+let test_failover_and_restart () =
+  let root = tmp_dir "probcons-replica-failover" in
+  with_cluster ~state_dir:root ~n:3 (fun ~base ~nodes ->
+      let leader = wait_leader nodes in
+      let leader_id = Node.id leader in
+      let multi = multi_of ~base ~n:3 () in
+      Fun.protect ~finally:(fun () -> Client.Multi.close multi) @@ fun () ->
+      ignore
+        (expect_ok "put a"
+           (Client.Multi.call multi ~id:1
+              (Wire.Scenario_put { name = "a"; scenario = scenario_a; nonce = 0 })));
+      (* Kill the leader: the client must fail over to the new leader
+         elected by the surviving majority. *)
+      (match !(nodes.(leader_id)) with
+      | Some node ->
+          nodes.(leader_id) := None;
+          Node.stop node
+      | None -> Alcotest.fail "leader slot empty");
+      ignore
+        (expect_ok "put b after failover"
+           (Client.Multi.call ~timeout:12. multi ~id:2
+              (Wire.Scenario_put { name = "b"; scenario = scenario_b; nonce = 0 })));
+      let survivor = wait_leader nodes in
+      Alcotest.(check bool)
+        "a different replica leads" true
+        (Node.id survivor <> leader_id);
+      (* Restart the killed replica from its durable state: it must
+         catch up to both writes. *)
+      nodes.(leader_id) :=
+        Some
+          (Node.start
+             (cluster_config ~state_dir:root ~wire_max:Wire.protocol_version
+                ~base ~n:3 leader_id));
+      Alcotest.(check bool)
+        "restarted replica catches up" true
+        (poll ~timeout:20. (fun () ->
+             match !(nodes.(leader_id)) with
+             | Some node ->
+                 let c = Node.state_counts node in
+                 c.State.store_size = 2 && c.State.missing_payloads = 0
+             | None -> false));
+      (* No acknowledged write was lost anywhere. *)
+      let got =
+        expect_ok "read back a"
+          (Client.Multi.call multi ~id:3
+             (Wire.Scenario_get { name = "a"; linearizable = true }))
+      in
+      Alcotest.(check bool)
+        "write a survived the failover" true
+        (Obs.Json.member "found" got = Some (Obs.Json.Bool true)))
+
+(* Satellite: a seeded chaos plan black-holing every outbound link of
+   the leader mid-append must cost leadership, not consistency — a new
+   leader emerges, the retried write lands exactly once, and after the
+   link heals all replicas converge to identical state. *)
+let test_chaos_blackhole_leader () =
+  let passthrough = Service.Chaos.passthrough_plan ~seed:7 () in
+  with_cluster ~chaos:passthrough ~n:3 (fun ~base ~nodes ->
+      let leader = wait_leader nodes in
+      let leader_id = Node.id leader in
+      let multi = multi_of ~base ~n:3 () in
+      Fun.protect ~finally:(fun () -> Client.Multi.close multi) @@ fun () ->
+      ignore
+        (expect_ok "put before the partition"
+           (Client.Multi.call multi ~id:1
+              (Wire.Scenario_put { name = "pre"; scenario = scenario_a; nonce = 0 })));
+      (* Black-hole the leader's outbound links. *)
+      Node.set_chaos_plan leader
+        { passthrough with Service.Chaos.blackhole_p = 1.0 };
+      ignore
+        (expect_ok "put during the partition"
+           (Client.Multi.call ~timeout:15. multi ~id:2
+              (Wire.Scenario_put { name = "mid"; scenario = scenario_b; nonce = 0 })));
+      let new_leader = wait_leader nodes in
+      Alcotest.(check bool)
+        "leadership moved off the black-holed replica" true
+        (Node.id new_leader <> leader_id);
+      (* Heal and require full convergence with no duplicate apply. *)
+      Node.set_chaos_plan leader passthrough;
+      Alcotest.(check bool)
+        "replicas converge after healing" true
+        (poll ~timeout:20. (fun () ->
+             let counts = List.map Node.state_counts (live_nodes nodes) in
+             match counts with
+             | first :: rest ->
+                 List.for_all
+                   (fun (c : State.counts) ->
+                     c.State.digest = first.State.digest
+                     && c.State.store_size = first.State.store_size)
+                   rest
+                 && first.State.store_size = 2
+                 && List.for_all
+                      (fun (c : State.counts) -> c.State.missing_payloads = 0)
+                      counts
+             | [] -> false)))
+
+(* Satellite: failing over onto a replica that only speaks newline
+   framing must renegotiate that endpoint instead of assuming the
+   previous endpoint's binary framing. *)
+let test_multi_mixed_wire () =
+  with_cluster
+    ~wire_max_of:(fun i -> if i = 0 then 2 else Wire.protocol_version)
+    ~n:3
+    (fun ~base ~nodes ->
+      ignore (wait_leader nodes);
+      let multi = multi_of ~wire:3 ~base ~n:3 () in
+      Fun.protect ~finally:(fun () -> Client.Multi.close multi) @@ fun () ->
+      (* The first call lands on endpoint 0 (a --wire 2 replica): the
+         binary-frame goodbye must downgrade that endpoint and retry it,
+         not poison the call. *)
+      let status =
+        expect_ok "status through a wire-2 replica"
+          (Client.Multi.call multi ~id:1 Wire.Replica_status)
+      in
+      Alcotest.(check bool)
+        "status answered" true
+        (Obs.Json.member "id" status <> None);
+      Alcotest.(check int)
+        "endpoint 0 renegotiated down to wire 2" 2
+        (Client.Multi.negotiated_wire multi 0);
+      (* Writes still reach the leader wherever it is. *)
+      ignore
+        (expect_ok "put through the mixed deployment"
+           (Client.Multi.call ~timeout:12. multi ~id:2
+              (Wire.Scenario_put { name = "mixed"; scenario = scenario_a; nonce = 0 }))))
+
+(* ---- measurement harness helpers ---------------------------------- *)
+
+let markov =
+  match Faultmodel.Failure_process.markov ~fail_rate:1.0 ~recover_rate:2.0 with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let test_driver_schedule () =
+  let mk seed =
+    Driver.kill_schedule ~seed ~replicas:5 ~process:markov
+      ~hours_per_second:0.125 ~duration_seconds:60.
+  in
+  let a = mk 42 and b = mk 42 and c = mk 43 in
+  Alcotest.(check bool) "schedule is seed-deterministic" true (a = b);
+  Alcotest.(check bool) "different seeds differ" true (a <> c);
+  Alcotest.(check bool) "schedule is non-trivial" true (List.length a > 0);
+  let sorted =
+    List.for_all2
+      (fun (x : Driver.event) (y : Driver.event) ->
+        x.Driver.at_seconds <= y.Driver.at_seconds)
+      (List.filteri (fun i _ -> i < List.length a - 1) a)
+      (List.tl a)
+  in
+  Alcotest.(check bool) "events sorted by time" true sorted;
+  List.iter
+    (fun (e : Driver.event) ->
+      Alcotest.(check bool)
+        "events lie within the run" true
+        (e.Driver.at_seconds >= 0. && e.Driver.at_seconds <= 60. /. 0.125 *. 8.))
+    a
+
+let test_driver_prediction_and_artifact () =
+  let midpoints = [ 2.5; 7.5; 12.5; 17.5 ] in
+  match
+    Driver.predicted_windows ~replicas:3 ~process:markov ~hours_per_second:0.125
+      ~midpoints_seconds:midpoints
+  with
+  | Error e -> Alcotest.fail e
+  | Ok predictions ->
+      Alcotest.(check int) "one prediction per window" 4 (List.length predictions);
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "prediction is a probability" true
+            (p >= 0. && p <= 1.))
+        predictions;
+      let windows =
+        List.mapi
+          (fun i p ->
+            {
+              Driver.index = i;
+              t_mid_seconds = List.nth midpoints i;
+              ok = 5;
+              total = 6;
+              predicted = p;
+            })
+          predictions
+      in
+      let cfg =
+        {
+          Driver.replicas = 3;
+          base_port = 47100;
+          seed = 42;
+          process = markov;
+          hours_per_second = 0.125;
+          duration_seconds = 20.;
+          window_seconds = 5.;
+          probes_per_window = 6;
+          tolerance = 0.25;
+          chaos = None;
+          wire = Wire.protocol_version;
+          state_root = "/tmp/unused";
+          child_argv = (fun ~id:_ -> [||]);
+          log = ignore;
+        }
+      in
+      let j =
+        Driver.artifact cfg ~windows ~writes_acked:10 ~writes_lost:0 ~kills:3
+          ~restarts:2
+      in
+      Alcotest.(check bool)
+        "artifact carries the schema" true
+        (Obs.Json.member "schema" j = Some (Obs.Json.String Driver.schema));
+      List.iter
+        (fun field ->
+          Alcotest.(check bool)
+            (field ^ " present") true
+            (Obs.Json.member field j <> None))
+        [
+          "replicas"; "process"; "windows"; "measured_mean"; "predicted_mean";
+          "abs_error"; "tolerance"; "writes_acked"; "writes_lost"; "kills";
+          "restarts";
+        ]
+
+let suite =
+  [
+    Alcotest.test_case "command codec" `Quick test_command_codec;
+    Alcotest.test_case "raft message codec" `Quick test_raft_codec;
+    Alcotest.test_case "transport envelope" `Quick test_transport_envelope;
+    Alcotest.test_case "state machine dedup" `Quick test_state_dedup;
+    Alcotest.test_case "durable storage round-trip" `Quick test_storage_roundtrip;
+    Alcotest.test_case "wire replica query kinds" `Quick test_wire_replica_kinds;
+    Alcotest.test_case "cluster put/get/linearizable" `Slow test_e2e_put_get;
+    Alcotest.test_case "leader failover and crash restart" `Slow
+      test_failover_and_restart;
+    Alcotest.test_case "chaos blackhole costs leadership not consistency" `Slow
+      test_chaos_blackhole_leader;
+    Alcotest.test_case "multi-endpoint mixed wire renegotiation" `Slow
+      test_multi_mixed_wire;
+    Alcotest.test_case "kill schedule determinism" `Quick test_driver_schedule;
+    Alcotest.test_case "prediction and artifact shape" `Quick
+      test_driver_prediction_and_artifact;
+  ]

@@ -384,7 +384,7 @@ let test_registry_rejects () =
   expect_error "enumeration cap"
     (Registry.validate (Scenario.uniform ~protocol:"stake" ~n:30 ~p:0.01 ()));
   Alcotest.(check bool) "find unknown" true (Registry.find "paxos" = None);
-  Alcotest.(check int) "seven entries" 7 (List.length Registry.names)
+  Alcotest.(check int) "nine entries" 9 (List.length (Registry.names ()))
 
 let test_registry_byz_default () =
   (* The registry resolves the scenario's optional byz_fraction against

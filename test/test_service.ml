@@ -239,13 +239,13 @@ let test_wire_version_upgrade () =
 let test_wire_responses () =
   let line = Wire.encode_ok ~id:7 ~payload:{|{"x": 1}|} in
   (match Wire.parse_response line with
-  | Ok { Wire.rid = Some 7; body = Ok (Obs.Json.Obj [ ("x", Obs.Json.Int 1) ]) }
+  | Ok { Wire.rid = Some 7; body = Ok (Obs.Json.Obj [ ("x", Obs.Json.Int 1) ]); _ }
     ->
       ()
   | _ -> Alcotest.failf "unexpected decode of %S" line);
   let line = Wire.encode_error ~id:(Some 3) Wire.Overloaded "queue full" in
   (match Wire.parse_response line with
-  | Ok { Wire.rid = Some 3; body = Error (Wire.Overloaded, "queue full") } -> ()
+  | Ok { Wire.rid = Some 3; body = Error (Wire.Overloaded, "queue full"); _ } -> ()
   | _ -> Alcotest.failf "unexpected decode of %S" line);
   match Wire.parse_response {|{"v": 1, "id": 1}|} with
   | Error _ -> ()
@@ -404,7 +404,7 @@ let test_router_all_models () =
       match json_field "p_safe_live" payload with
       | Some j when Obs.Json.to_float j <> None -> ()
       | _ -> Alcotest.failf "%s payload lacks p_safe_live" name)
-    Probcons.Registry.names
+    (Probcons.Registry.names ())
 
 let test_router_byz_override () =
   (* byz_fraction is a scenario field now, not a hardcoded constant:
@@ -648,7 +648,7 @@ let test_e2e_pipelining () =
                 | None -> Alcotest.fail "connection died mid-pipeline"
                 | Some reply -> (
                     match Wire.parse_response reply with
-                    | Ok { Wire.rid = Some rid; body = Ok _ } when rid < n ->
+                    | Ok { Wire.rid = Some rid; body = Ok _; _ } when rid < n ->
                         seen.(rid) <- seen.(rid) + 1
                     | _ -> Alcotest.failf "bad pipelined reply: %s" reply)
               done;

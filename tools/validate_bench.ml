@@ -488,6 +488,77 @@ let validate_dynamic_bench path doc =
           (fun (n, s) -> Printf.sprintf "n=%d %.0fx" n s)
           checked))
 
+(* The replication-availability artifact (probcons replicate --measure):
+   measured per-window success rates against the analytical prediction.
+   The gate is the experiment's own tolerance — plus the absolute
+   claim that no acknowledged write was lost. *)
+let repl_avail_min_windows = 3
+
+let validate_repl_avail path doc =
+  (match int_field "replicas" doc with
+  | Some n when n >= 1 && n <= 9 -> ()
+  | Some n -> fail "replicas %d outside [1, 9]" n
+  | None -> fail "missing integer replicas");
+  (match Obs.Json.member "process" doc with
+  | Some p -> (
+      match Faultmodel.Failure_process.of_json p with
+      | Ok _ -> ()
+      | Error msg -> fail "bad process: %s" msg)
+  | None -> fail "missing process");
+  let tolerance =
+    match num "tolerance" doc with
+    | Some v when Float.is_finite v && v > 0. && v <= 1. -> v
+    | Some v -> fail "tolerance not in (0, 1] (%g)" v
+    | None -> fail "missing numeric tolerance"
+  in
+  let windows =
+    match Option.bind (Obs.Json.member "windows" doc) Obs.Json.to_list with
+    | Some l when List.length l >= repl_avail_min_windows -> l
+    | Some l ->
+        fail "only %d windows; need at least %d" (List.length l)
+          repl_avail_min_windows
+    | None -> fail "missing windows list"
+  in
+  List.iteri
+    (fun i w ->
+      let prob key =
+        match num key w with
+        | Some v when Float.is_finite v && v >= 0. && v <= 1. -> v
+        | Some v -> fail "window %d: %s %g outside [0, 1]" i key v
+        | None -> fail "window %d: missing numeric %s" i key
+      in
+      ignore (prob "measured");
+      ignore (prob "predicted");
+      match (int_field "ok" w, int_field "total" w) with
+      | Some ok, Some total when ok >= 0 && ok <= total && total >= 1 -> ()
+      | _ -> fail "window %d: need integers 0 <= ok <= total" i)
+    windows;
+  let abs_error =
+    match num "abs_error" doc with
+    | Some v when Float.is_finite v && v >= 0. -> v
+    | Some v -> fail "abs_error not finite and non-negative (%g)" v
+    | None -> fail "missing numeric abs_error"
+  in
+  if abs_error > tolerance then
+    fail
+      "measured availability diverged from the prediction: abs_error %.4f > \
+       tolerance %g"
+      abs_error tolerance;
+  (match int_field "writes_acked" doc with
+  | Some n when n >= 1 -> ()
+  | Some n -> fail "writes_acked %d — the run never acknowledged a write" n
+  | None -> fail "missing integer writes_acked");
+  (match int_field "writes_lost" doc with
+  | Some 0 -> ()
+  | Some n -> fail "%d acknowledged writes lost" n
+  | None -> fail "missing integer writes_lost");
+  (match int_field "kills" doc with
+  | Some n when n >= 1 -> ()
+  | Some n -> fail "kills %d — the schedule never exercised a failure" n
+  | None -> fail "missing integer kills");
+  Printf.printf "%s: OK (repl-avail, %d windows, abs_error %.4f <= %g)\n" path
+    (List.length windows) abs_error tolerance
+
 (* --- Dispatch ----------------------------------------------------------- *)
 
 let () =
@@ -513,5 +584,6 @@ let () =
   | Some "probcons-repro/1" -> validate_repro path doc
   | Some "probcons-fleet-bench/1" -> validate_fleet_bench path doc
   | Some "probcons-dynamic-bench/1" -> validate_dynamic_bench path doc
+  | Some "probcons-repl-avail/1" -> validate_repl_avail path doc
   | Some other -> fail "unexpected schema %S" other
   | None -> fail "missing schema tag"
